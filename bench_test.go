@@ -1,0 +1,225 @@
+package pmlsh
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus the ablations called out in DESIGN.md. Benchmarks run on
+// scaled-down synthetic datasets so `go test -bench=.` finishes in
+// minutes; cmd/reprobench regenerates the full tables (and accepts a
+// -scale flag for paper-scale cardinalities). EXPERIMENTS.md records
+// paper-vs-measured numbers.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+	"repro/internal/estimator"
+)
+
+// benchEnv lazily builds the shared workload once per process.
+type benchEnv struct {
+	once sync.Once
+	w    *bench.Workload
+	err  error
+}
+
+var env benchEnv
+
+func workload(b *testing.B) *bench.Workload {
+	b.Helper()
+	env.once.Do(func() {
+		ds, err := dataset.Generate(dataset.Spec{
+			Name: "bench", N: 4000, D: 64, Clusters: 12, SubspaceDim: 8, RCTarget: 2.2, Seed: 42,
+		})
+		if err != nil {
+			env.err = err
+			return
+		}
+		env.w, env.err = bench.NewWorkload(ds, 20, 100, 43)
+	})
+	if env.err != nil {
+		b.Fatal(env.err)
+	}
+	return env.w
+}
+
+// BenchmarkTable4Overview measures per-query latency of every algorithm
+// at the paper's defaults (k=50, c=1.5) — the content of Table 4.
+func BenchmarkTable4Overview(b *testing.B) {
+	w := workload(b)
+	for _, name := range bench.AllAlgos() {
+		b.Run(string(name), func(b *testing.B) {
+			a, err := bench.BuildAlgo(name, w.Dataset.Points, bench.BuildConfig{Seed: 1, QALSHMaxHashes: 80})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.KNN(w.Queries[i%len(w.Queries)], 50); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2CostModel evaluates the PM-tree vs R-tree cost model
+// on projected points — the content of Table 2.
+func BenchmarkTable2CostModel(b *testing.B) {
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmp, err := bench.CostModel(w.Dataset, 15, 0, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cmp.PMTreeCC >= cmp.RTreeCC {
+			b.Fatalf("Table 2 shape violated: PM %v >= R %v", cmp.PMTreeCC, cmp.RTreeCC)
+		}
+	}
+}
+
+// BenchmarkTable3DatasetStats computes HV/RC/LID — the content of
+// Table 3.
+func BenchmarkTable3DatasetStats(b *testing.B) {
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.DatasetStats(w.Dataset, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Estimators ranks the dataset with the four distance
+// estimators — the content of Fig. 3.
+func BenchmarkFig3Estimators(b *testing.B) {
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curves, err := bench.EstimatorStudy(w.Dataset, 3, []int{100, 500}, 50, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(curves) != len(estimator.Kinds()) {
+			b.Fatal("missing curves")
+		}
+	}
+}
+
+// BenchmarkFig6ParamSweep builds PM-LSH at several s and m values and
+// measures query behavior — the content of Fig. 6.
+func BenchmarkFig6ParamSweep(b *testing.B) {
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.ParamSweep(w, 10, []int{0, 5}, []int{10, 15}, bench.BuildConfig{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7to9VaryK sweeps k for PM-LSH and SRS — the content of
+// Figs. 7–9 (per-k latency of the two leading methods).
+func BenchmarkFig7to9VaryK(b *testing.B) {
+	w := workload(b)
+	for _, k := range []int{1, 20, 50, 100} {
+		for _, name := range []bench.AlgoName{bench.PMLSH, bench.SRS} {
+			b.Run(fmt.Sprintf("%s/k=%d", name, k), func(b *testing.B) {
+				a, err := bench.BuildAlgo(name, w.Dataset.Points, bench.BuildConfig{Seed: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := a.KNN(w.Queries[i%len(w.Queries)], k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig10and11Tradeoff sweeps the quality knobs that generate
+// the recall–time and ratio–time curves of Figs. 10–11.
+func BenchmarkFig10and11Tradeoff(b *testing.B) {
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := bench.Tradeoff(w, 10, []float64{1.2, 1.8}, []int{16}, []float64{0.5},
+			bench.BuildConfig{Seed: int64(i), QALSHMaxHashes: 60})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTreeChoice isolates the PM-tree vs R-tree decision
+// inside the identical Algorithm 2 (PM-LSH vs R-LSH).
+func BenchmarkAblationTreeChoice(b *testing.B) {
+	w := workload(b)
+	for _, name := range []bench.AlgoName{bench.PMLSH, bench.RLSH} {
+		b.Run(string(name), func(b *testing.B) {
+			a, err := bench.BuildAlgo(name, w.Dataset.Points, bench.BuildConfig{Seed: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.KNN(w.Queries[i%len(w.Queries)], 50); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAlpha sweeps the confidence-interval width α₁ — not
+// a paper experiment, but the knob Lemma 4 exposes: smaller α₁ widens
+// the projected radius (more candidates, higher recall).
+func BenchmarkAblationAlpha(b *testing.B) {
+	w := workload(b)
+	for _, alpha := range []float64{0.05, 1 / 2.718281828, 0.8} {
+		b.Run(fmt.Sprintf("alpha=%.2f", alpha), func(b *testing.B) {
+			ix, err := Build(w.Dataset.Points, Config{Seed: 4, Alpha1: alpha})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.KNN(w.Queries[i%len(w.Queries)], 20, 1.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIndexBuild measures construction cost of the PM-LSH index.
+func BenchmarkIndexBuild(b *testing.B) {
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(w.Dataset.Points, Config{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryK50 is the headline microbenchmark: one (1.5,50)-ANN
+// query at the paper's defaults.
+func BenchmarkQueryK50(b *testing.B) {
+	w := workload(b)
+	ix, err := Build(w.Dataset.Points, Config{Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.KNN(w.Queries[i%len(w.Queries)], 50, 1.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Command reprobench regenerates every table and figure of the PM-LSH
+// paper's evaluation section on synthetic stand-ins for its seven
+// datasets (see DESIGN.md for the substitution rationale).
+//
+// Usage:
+//
+//	reprobench -exp table4                 # one experiment
+//	reprobench -exp all -scale 0.02       # everything, scaled datasets
+//	reprobench -exp fig7 -datasets Cifar  # one figure, one dataset
+//
+// Experiments: table2, table3, fig3, fig6, table4, fig7, fig8, fig9,
+// fig10, fig11, all. Dataset cardinalities are the paper's times
+// -scale, capped at -maxn; dimensionalities always match the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/costmodel"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "table4", "experiment: table2|table3|fig3|fig6|table4|fig7|fig8|fig9|fig10|fig11|all")
+		scale    = flag.Float64("scale", 0.02, "dataset cardinality scale factor (1.0 = paper scale)")
+		maxN     = flag.Int("maxn", 20000, "cap on points per dataset (0 = no cap)")
+		queries  = flag.Int("queries", 50, "queries per dataset (paper: 200)")
+		k        = flag.Int("k", 50, "result size k (paper default: 50)")
+		c        = flag.Float64("c", 1.5, "approximation ratio c (paper default: 1.5)")
+		seed     = flag.Int64("seed", 1, "master seed")
+		datasets = flag.String("datasets", "", "comma-separated dataset filter (default: experiment-specific)")
+		qalshCap = flag.Int("qalsh-hashes", 120, "cap on QALSH hash functions")
+	)
+	flag.Parse()
+
+	r := runner{
+		scale: *scale, maxN: *maxN, queries: *queries, k: *k, c: *c,
+		seed: *seed, qalshCap: *qalshCap, filter: parseFilter(*datasets),
+	}
+	if err := r.run(*exp); err != nil {
+		fmt.Fprintf(os.Stderr, "reprobench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseFilter(s string) map[string]bool {
+	if s == "" {
+		return nil
+	}
+	out := map[string]bool{}
+	for _, name := range strings.Split(s, ",") {
+		out[strings.TrimSpace(name)] = true
+	}
+	return out
+}
+
+type runner struct {
+	scale    float64
+	maxN     int
+	queries  int
+	k        int
+	c        float64
+	seed     int64
+	qalshCap int
+	filter   map[string]bool
+
+	cache map[string]*dataset.Dataset
+}
+
+func (r *runner) run(exp string) error {
+	switch exp {
+	case "table2":
+		return r.table2()
+	case "table3":
+		return r.table3()
+	case "fig3":
+		return r.fig3()
+	case "fig6":
+		return r.fig6()
+	case "table4":
+		return r.table4()
+	case "fig7":
+		return r.varyK("Cifar")
+	case "fig8":
+		return r.varyK("Deep")
+	case "fig9":
+		return r.varyK("Trevi")
+	case "fig10", "fig11":
+		return r.tradeoff()
+	case "all":
+		steps := []func() error{
+			r.table3, r.table2, r.fig3, r.fig6, r.table4,
+			func() error { return r.varyK("Cifar") },
+			func() error { return r.varyK("Deep") },
+			func() error { return r.varyK("Trevi") },
+			r.tradeoff,
+		}
+		for _, step := range steps {
+			if err := step(); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+// specs returns the dataset specs honoring the filter.
+func (r *runner) specs() ([]dataset.Spec, error) {
+	all, err := dataset.PaperSpecs(r.scale, r.maxN)
+	if err != nil {
+		return nil, err
+	}
+	if r.filter == nil {
+		return all, nil
+	}
+	var out []dataset.Spec
+	for _, s := range all {
+		if r.filter[s.Name] {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dataset filter matched nothing")
+	}
+	return out, nil
+}
+
+func (r *runner) get(spec dataset.Spec) (*dataset.Dataset, error) {
+	if r.cache == nil {
+		r.cache = map[string]*dataset.Dataset{}
+	}
+	if ds, ok := r.cache[spec.Name]; ok {
+		return ds, nil
+	}
+	start := time.Now()
+	ds, err := dataset.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "generated %s (n=%d d=%d) in %v\n",
+		spec.Name, spec.N, spec.D, time.Since(start).Round(time.Millisecond))
+	r.cache[spec.Name] = ds
+	return ds, nil
+}
+
+func (r *runner) table2() error {
+	specs, err := r.specs()
+	if err != nil {
+		return err
+	}
+	var rows []costmodel.Comparison
+	for _, spec := range specs {
+		ds, err := r.get(spec)
+		if err != nil {
+			return err
+		}
+		cmp, err := bench.CostModel(ds, 15, 20, r.seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		rows = append(rows, cmp)
+	}
+	bench.PrintCostModel(os.Stdout, rows)
+	return nil
+}
+
+func (r *runner) table3() error {
+	specs, err := r.specs()
+	if err != nil {
+		return err
+	}
+	var names []string
+	var stats []dataset.Stats
+	for _, spec := range specs {
+		ds, err := r.get(spec)
+		if err != nil {
+			return err
+		}
+		st, err := bench.DatasetStats(ds, r.seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		names = append(names, spec.Name)
+		stats = append(stats, st)
+	}
+	bench.PrintDatasetStats(os.Stdout, names, stats)
+	return nil
+}
+
+func (r *runner) fig3() error {
+	// The paper samples 10K points of Trevi and uses 100 queries with
+	// exact 100-NN; T sweeps 100..2000.
+	spec, err := dataset.SpecByName("Trevi", r.scale, r.maxN)
+	if err != nil {
+		return err
+	}
+	if spec.N > 10000 {
+		spec.N = 10000
+	}
+	ds, err := r.get(spec)
+	if err != nil {
+		return err
+	}
+	ts := []int{100, 200, 400, 800, 1200, 1600, 2000}
+	maxT := ts[len(ts)-1]
+	if maxT > spec.N {
+		return fmt.Errorf("fig3 needs at least %d points, have %d (raise -scale)", maxT, spec.N)
+	}
+	nq := r.queries
+	if nq > 100 {
+		nq = 100
+	}
+	curves, err := bench.EstimatorStudy(ds, nq, ts, 100, r.seed)
+	if err != nil {
+		return err
+	}
+	bench.PrintEstimatorCurves(os.Stdout, curves)
+	return nil
+}
+
+func (r *runner) fig6() error {
+	spec, err := dataset.SpecByName("Trevi", r.scale, r.maxN)
+	if err != nil {
+		return err
+	}
+	ds, err := r.get(spec)
+	if err != nil {
+		return err
+	}
+	w, err := bench.NewWorkload(ds, r.queries, r.k, r.seed+1)
+	if err != nil {
+		return err
+	}
+	pts, err := bench.ParamSweep(w, r.k,
+		[]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		[]int{1, 5, 10, 15, 20, 25},
+		bench.BuildConfig{C: r.c, Seed: r.seed})
+	if err != nil {
+		return err
+	}
+	bench.PrintSweep(os.Stdout, spec.Name, pts)
+	return nil
+}
+
+func (r *runner) table4() error {
+	specs, err := r.specs()
+	if err != nil {
+		return err
+	}
+	for _, spec := range specs {
+		ds, err := r.get(spec)
+		if err != nil {
+			return err
+		}
+		w, err := bench.NewWorkload(ds, r.queries, r.k, r.seed+1)
+		if err != nil {
+			return err
+		}
+		rows, err := bench.Overview(w, nil, r.k, bench.BuildConfig{
+			C: r.c, Seed: r.seed, QALSHMaxHashes: r.qalshCap,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		bench.PrintOverview(os.Stdout, spec.Name, rows)
+		fmt.Println()
+	}
+	return nil
+}
+
+func (r *runner) varyK(name string) error {
+	spec, err := dataset.SpecByName(name, r.scale, r.maxN)
+	if err != nil {
+		return err
+	}
+	ds, err := r.get(spec)
+	if err != nil {
+		return err
+	}
+	ks := []int{1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	w, err := bench.NewWorkload(ds, r.queries, ks[len(ks)-1], r.seed+1)
+	if err != nil {
+		return err
+	}
+	rows, err := bench.VaryK(w, nil, ks, bench.BuildConfig{
+		C: r.c, Seed: r.seed, QALSHMaxHashes: r.qalshCap,
+	})
+	if err != nil {
+		return err
+	}
+	bench.PrintVaryK(os.Stdout, spec.Name, rows)
+	return nil
+}
+
+func (r *runner) tradeoff() error {
+	for _, name := range []string{"Cifar", "Trevi", "Deep"} {
+		if r.filter != nil && !r.filter[name] {
+			continue
+		}
+		spec, err := dataset.SpecByName(name, r.scale, r.maxN)
+		if err != nil {
+			return err
+		}
+		ds, err := r.get(spec)
+		if err != nil {
+			return err
+		}
+		w, err := bench.NewWorkload(ds, r.queries, r.k, r.seed+1)
+		if err != nil {
+			return err
+		}
+		rows, err := bench.Tradeoff(w, r.k,
+			[]float64{1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0},
+			[]int{4, 16, 64, 256},
+			[]float64{0.1, 0.3, 0.5, 0.7, 0.9},
+			bench.BuildConfig{C: r.c, Seed: r.seed, QALSHMaxHashes: r.qalshCap})
+		if err != nil {
+			return err
+		}
+		bench.PrintTradeoff(os.Stdout, spec.Name, rows)
+		fmt.Println()
+	}
+	return nil
+}

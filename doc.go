@@ -1,0 +1,33 @@
+// Package pmlsh is a from-scratch Go implementation of PM-LSH, the
+// locality-sensitive-hashing framework for high-dimensional approximate
+// nearest-neighbor search of Zheng, Zhao, Weng, Hung, Liu and Jensen
+// (PVLDB 13(5), 2020).
+//
+// PM-LSH answers (c,k)-ANN queries in sublinear time with a quality
+// guarantee: it projects points into a low-dimensional space with
+// 2-stable hash functions, indexes the projections with a PM-tree, and
+// probes candidates through a short sequence of projected range queries
+// whose radii come from a tunable χ² confidence interval. The returned
+// top-k is c²-approximate with constant probability (Theorem 1 of the
+// paper); in practice recall is high and the overall distance ratio is
+// close to 1.
+//
+// # Quick start
+//
+//	data := ...                       // [][]float64, one row per point
+//	index, err := pmlsh.Build(data, pmlsh.Config{})
+//	if err != nil { ... }
+//	neighbors, err := index.KNN(query, 10, 1.5) // (c=1.5, k=10)-ANN
+//
+// The zero Config uses the paper's evaluation defaults: m = 15 hash
+// functions, s = 5 PM-tree pivots, α₁ = 1/e.
+//
+// # Repository layout
+//
+// The exported API wraps internal/core. The repository also contains
+// the full substrate stack (PM-tree, R-tree, B+-tree, p-stable LSH, χ²
+// statistics) and every baseline from the paper's evaluation (SRS,
+// QALSH, Multi-Probe LSH, R-LSH, linear scan) under internal/, along
+// with a benchmark harness that regenerates each table and figure; see
+// DESIGN.md and EXPERIMENTS.md.
+package pmlsh

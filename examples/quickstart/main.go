@@ -1,0 +1,70 @@
+// Quickstart: build a PM-LSH index over random high-dimensional points
+// and answer a (c,k)-ANN query.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	pmlsh "repro"
+)
+
+func main() {
+	const (
+		n = 10000 // points
+		d = 128   // dimensions
+		k = 5     // neighbors
+		c = 1.5   // approximation ratio
+	)
+
+	// A toy dataset: Gaussian points around a handful of centers.
+	rng := rand.New(rand.NewSource(1))
+	centers := make([][]float64, 16)
+	for i := range centers {
+		centers[i] = randVec(rng, d, 10)
+	}
+	data := make([][]float64, n)
+	for i := range data {
+		center := centers[rng.Intn(len(centers))]
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = center[j] + rng.NormFloat64()
+		}
+		data[i] = p
+	}
+
+	// Build the index with the paper's default parameters
+	// (m = 15 hash functions, s = 5 PM-tree pivots, α1 = 1/e).
+	index, err := pmlsh.Build(data, pmlsh.Config{Seed: 42})
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	fmt.Printf("indexed %d points in %d dimensions (projected to %d)\n",
+		index.Len(), index.Dim(), index.M())
+
+	// Query near one of the data points.
+	query := append([]float64(nil), data[1234]...)
+	query[0] += 0.25
+
+	neighbors, stats, err := index.KNNWithStats(query, k, c)
+	if err != nil {
+		log.Fatalf("query: %v", err)
+	}
+	fmt.Printf("\n(c=%.1f, k=%d)-ANN results:\n", c, k)
+	for i, nb := range neighbors {
+		fmt.Printf("  %d. point %-6d distance %.4f\n", i+1, nb.ID, nb.Dist)
+	}
+	fmt.Printf("\nquery work: %d range-query rounds, %d points verified (%.1f%% of the dataset)\n",
+		stats.Rounds, stats.Verified, 100*float64(stats.Verified)/float64(n))
+}
+
+func randVec(rng *rand.Rand, d int, scale float64) []float64 {
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = rng.NormFloat64() * scale
+	}
+	return v
+}

@@ -1,0 +1,89 @@
+// Embedding-based recommendation: the paper's motivating "recommend-
+// ation" use case [8]. Item embeddings live in a 256-dimensional space
+// (Deep-like); a user's taste vector is the mean of recently liked
+// items, and PM-LSH retrieves candidate items near that vector.
+//
+// Run with: go run ./examples/recommend
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	pmlsh "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	const (
+		k = 8
+		c = 1.5
+	)
+
+	// Deep-like item embeddings: 256 dimensions.
+	spec, err := dataset.SpecByName("Deep", 0.01, 8000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dataset.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	items := ds.Points
+	fmt.Printf("catalog: %d item embeddings x %d dims\n\n", len(items), spec.D)
+
+	index, err := pmlsh.Build(items, pmlsh.Config{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three simulated users, each with a handful of liked items.
+	rng := rand.New(rand.NewSource(5))
+	for user := 1; user <= 3; user++ {
+		// Liked items cluster around one seed item.
+		seed := rng.Intn(len(items))
+		liked := []int{seed}
+		seedRes, err := index.KNN(items[seed], 4, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, nb := range seedRes[1:] {
+			liked = append(liked, int(nb.ID))
+		}
+
+		// Taste vector = mean of liked embeddings.
+		taste := make([]float64, spec.D)
+		for _, id := range liked {
+			for j, v := range items[id] {
+				taste[j] += v
+			}
+		}
+		for j := range taste {
+			taste[j] /= float64(len(liked))
+		}
+
+		// Retrieve recommendations, excluding already-liked items.
+		res, err := index.KNN(taste, k+len(liked), c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		likedSet := make(map[int32]bool)
+		for _, id := range liked {
+			likedSet[int32(id)] = true
+		}
+		fmt.Printf("user %d (liked items %v):\n", user, liked)
+		shown := 0
+		for _, nb := range res {
+			if likedSet[nb.ID] {
+				continue
+			}
+			shown++
+			fmt.Printf("  recommend item %-6d (distance to taste %.3f)\n", nb.ID, nb.Dist)
+			if shown == k {
+				break
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,201 @@
+// Package bench is the experiment harness: it builds every algorithm
+// from the paper's evaluation over a common workload and regenerates
+// each table and figure (see DESIGN.md's per-experiment index).
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lscan"
+	"repro/internal/metrics"
+	"repro/internal/multiprobe"
+	"repro/internal/qalsh"
+	"repro/internal/srs"
+)
+
+// Algorithm is the common query interface the harness drives.
+type Algorithm interface {
+	// Name returns the display name used in tables.
+	Name() string
+	// KNN answers a k-nearest-neighbor query.
+	KNN(q []float64, k int) ([]metrics.Neighbor, error)
+}
+
+// AlgoName enumerates the evaluated algorithms.
+type AlgoName string
+
+// The six algorithms of Table 4.
+const (
+	PMLSH      AlgoName = "PM-LSH"
+	SRS        AlgoName = "SRS"
+	QALSH      AlgoName = "QALSH"
+	MultiProbe AlgoName = "Multi-Probe"
+	RLSH       AlgoName = "R-LSH"
+	LScan      AlgoName = "LScan"
+)
+
+// AllAlgos lists the algorithms in the paper's column order.
+func AllAlgos() []AlgoName {
+	return []AlgoName{PMLSH, SRS, QALSH, MultiProbe, RLSH, LScan}
+}
+
+// BuildConfig carries the shared build parameters.
+type BuildConfig struct {
+	// C is the approximation ratio used at query time (and, for QALSH,
+	// baked into the index). 0 = 1.5, the evaluation default.
+	C float64
+	// Seed drives every randomized component.
+	Seed int64
+	// QALSHMaxHashes caps QALSH's derived hash count (0 = 200).
+	QALSHMaxHashes int
+	// MultiProbeProbes is the per-table probe budget (0 = default).
+	MultiProbeProbes int
+	// LScanFraction is the scanned fraction (0 = 0.7).
+	LScanFraction float64
+}
+
+func (b *BuildConfig) fill() {
+	if b.C == 0 {
+		b.C = 1.5
+	}
+}
+
+// BuildAlgo constructs one algorithm over the dataset.
+func BuildAlgo(name AlgoName, data [][]float64, cfg BuildConfig) (Algorithm, error) {
+	cfg.fill()
+	switch name {
+	case PMLSH:
+		ix, err := core.Build(data, core.Config{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return &pmlshAdapter{ix: ix, c: cfg.C, name: string(PMLSH)}, nil
+	case RLSH:
+		ix, err := core.Build(data, core.Config{Seed: cfg.Seed, UseRTree: true})
+		if err != nil {
+			return nil, err
+		}
+		return &pmlshAdapter{ix: ix, c: cfg.C, name: string(RLSH)}, nil
+	case SRS:
+		ix, err := srs.Build(data, srs.Config{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return &srsAdapter{ix: ix, c: cfg.C}, nil
+	case QALSH:
+		ix, err := qalsh.Build(data, qalsh.Config{
+			C: cfg.C, Seed: cfg.Seed, MaxHashes: cfg.QALSHMaxHashes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &qalshAdapter{ix: ix}, nil
+	case MultiProbe:
+		ix, err := multiprobe.Build(data, multiprobe.Config{
+			Seed: cfg.Seed, Probes: cfg.MultiProbeProbes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &mpAdapter{ix: ix}, nil
+	case LScan:
+		sc, err := lscan.New(data, lscan.Config{Seed: cfg.Seed, Fraction: cfg.LScanFraction})
+		if err != nil {
+			return nil, err
+		}
+		return &lscanAdapter{sc: sc}, nil
+	default:
+		return nil, fmt.Errorf("bench: unknown algorithm %q", name)
+	}
+}
+
+// BuildAll constructs the requested algorithms (nil = all six).
+func BuildAll(names []AlgoName, data [][]float64, cfg BuildConfig) ([]Algorithm, error) {
+	if names == nil {
+		names = AllAlgos()
+	}
+	out := make([]Algorithm, 0, len(names))
+	for _, n := range names {
+		a, err := BuildAlgo(n, data, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %s: %w", n, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+type pmlshAdapter struct {
+	ix   *core.Index
+	c    float64
+	name string
+}
+
+func (a *pmlshAdapter) Name() string { return a.name }
+func (a *pmlshAdapter) KNN(q []float64, k int) ([]metrics.Neighbor, error) {
+	res, err := a.ix.KNN(q, k, a.c)
+	return convertCore(res), err
+}
+
+// SetC changes the query-time approximation ratio (tradeoff curves).
+func (a *pmlshAdapter) SetC(c float64) { a.c = c }
+
+type srsAdapter struct {
+	ix *srs.Index
+	c  float64
+}
+
+func (a *srsAdapter) Name() string { return string(SRS) }
+func (a *srsAdapter) KNN(q []float64, k int) ([]metrics.Neighbor, error) {
+	res, err := a.ix.KNN(q, k, a.c)
+	out := make([]metrics.Neighbor, len(res))
+	for i, r := range res {
+		out[i] = metrics.Neighbor{ID: r.ID, Dist: r.Dist}
+	}
+	return out, err
+}
+
+type qalshAdapter struct{ ix *qalsh.Index }
+
+func (a *qalshAdapter) Name() string { return string(QALSH) }
+func (a *qalshAdapter) KNN(q []float64, k int) ([]metrics.Neighbor, error) {
+	res, err := a.ix.KNN(q, k)
+	out := make([]metrics.Neighbor, len(res))
+	for i, r := range res {
+		out[i] = metrics.Neighbor{ID: r.ID, Dist: r.Dist}
+	}
+	return out, err
+}
+
+type mpAdapter struct{ ix *multiprobe.Index }
+
+func (a *mpAdapter) Name() string { return string(MultiProbe) }
+func (a *mpAdapter) KNN(q []float64, k int) ([]metrics.Neighbor, error) {
+	res, err := a.ix.KNN(q, k)
+	out := make([]metrics.Neighbor, len(res))
+	for i, r := range res {
+		out[i] = metrics.Neighbor{ID: r.ID, Dist: r.Dist}
+	}
+	return out, err
+}
+
+type lscanAdapter struct{ sc *lscan.Scanner }
+
+func (a *lscanAdapter) Name() string { return string(LScan) }
+func (a *lscanAdapter) KNN(q []float64, k int) ([]metrics.Neighbor, error) {
+	res, err := a.sc.KNN(q, k)
+	out := make([]metrics.Neighbor, len(res))
+	for i, r := range res {
+		out[i] = metrics.Neighbor{ID: r.ID, Dist: r.Dist}
+	}
+	return out, err
+}
+
+func convertCore(res []core.Result) []metrics.Neighbor {
+	out := make([]metrics.Neighbor, len(res))
+	for i, r := range res {
+		out[i] = metrics.Neighbor{ID: r.ID, Dist: r.Dist}
+	}
+	return out
+}

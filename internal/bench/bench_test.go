@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func smallWorkload(t *testing.T, n int) *Workload {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Spec{
+		Name: "bench", N: n, D: 32, Clusters: 8, SubspaceDim: 6, RCTarget: 2.2, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorkload(ds, 10, 20, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWorkloadValidation(t *testing.T) {
+	ds, _ := dataset.Generate(dataset.Spec{
+		Name: "x", N: 100, D: 8, Clusters: 2, SubspaceDim: 2, RCTarget: 2, Seed: 1,
+	})
+	if _, err := NewWorkload(ds, 0, 5, 1); err == nil {
+		t.Error("0 queries should fail")
+	}
+	if _, err := NewWorkload(ds, 5, 0, 1); err == nil {
+		t.Error("0 maxK should fail")
+	}
+	w, err := NewWorkload(ds, 3, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 3 || len(w.Truth) != 3 || len(w.Truth[0]) != 5 {
+		t.Errorf("workload shape wrong")
+	}
+}
+
+func TestBuildAlgoUnknown(t *testing.T) {
+	w := smallWorkload(t, 300)
+	if _, err := BuildAlgo("nope", w.Dataset.Points, BuildConfig{}); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestBuildAllNames(t *testing.T) {
+	w := smallWorkload(t, 300)
+	algos, err := BuildAll(nil, w.Dataset.Points, BuildConfig{Seed: 1, QALSHMaxHashes: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(algos) != 6 {
+		t.Fatalf("got %d algorithms", len(algos))
+	}
+	want := map[string]bool{}
+	for _, n := range AllAlgos() {
+		want[string(n)] = true
+	}
+	for _, a := range algos {
+		if !want[a.Name()] {
+			t.Errorf("unexpected algorithm %q", a.Name())
+		}
+	}
+}
+
+func TestEvaluateKTooLarge(t *testing.T) {
+	w := smallWorkload(t, 300)
+	a, _ := BuildAlgo(PMLSH, w.Dataset.Points, BuildConfig{Seed: 1})
+	if _, err := Evaluate(a, w, 100); err == nil {
+		t.Error("k above truth depth should fail")
+	}
+}
+
+// The harness-level reproduction check: on one workload, every
+// algorithm produces sane metrics, and PM-LSH is at or near the top on
+// recall (Table 4's qualitative content).
+func TestOverviewShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w := smallWorkload(t, 2000)
+	rows, err := Overview(w, nil, 10, BuildConfig{Seed: 2, QALSHMaxHashes: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Algo] = r
+		if r.TimeMS <= 0 {
+			t.Errorf("%s: non-positive time", r.Algo)
+		}
+		if r.Ratio < 1-1e-9 {
+			t.Errorf("%s: ratio %v below 1", r.Algo, r.Ratio)
+		}
+		if r.Recall < 0 || r.Recall > 1 {
+			t.Errorf("%s: recall %v outside [0,1]", r.Algo, r.Recall)
+		}
+	}
+	pm := byName[string(PMLSH)]
+	if pm.Recall < 0.75 {
+		t.Errorf("PM-LSH recall %v below 0.75", pm.Recall)
+	}
+	if pm.Recall < byName[string(LScan)].Recall-0.15 {
+		t.Errorf("PM-LSH recall %v should not trail LScan (%v) badly",
+			pm.Recall, byName[string(LScan)].Recall)
+	}
+}
+
+func TestVaryKMonotoneSetup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w := smallWorkload(t, 1000)
+	rows, err := VaryK(w, []AlgoName{PMLSH, LScan}, []int{1, 10, 20}, BuildConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.K != 1 && r.K != 10 && r.K != 20 {
+			t.Errorf("unexpected k %d", r.K)
+		}
+	}
+}
+
+func TestTradeoffRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w := smallWorkload(t, 800)
+	rows, err := Tradeoff(w, 5, []float64{1.2, 1.8}, []int{8, 32}, []float64{0.3, 0.9},
+		BuildConfig{Seed: 4, QALSHMaxHashes: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PM-LSH, R-LSH, SRS, QALSH: 2 each; Multi-Probe: 2; LScan: 2.
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	// Larger c must not increase PM-LSH work dramatically; sanity: both
+	// rows evaluated with the right knob recorded.
+	seen := map[string][]float64{}
+	for _, r := range rows {
+		seen[r.Algo] = append(seen[r.Algo], r.C)
+	}
+	if len(seen[string(PMLSH)]) != 2 {
+		t.Errorf("PM-LSH knob values: %v", seen[string(PMLSH)])
+	}
+}
+
+func TestParamSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w := smallWorkload(t, 800)
+	pts, err := ParamSweep(w, 5, []int{0, 5}, []int{5, 15}, BuildConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].Param != "s" || pts[2].Param != "m" {
+		t.Errorf("sweep order wrong: %+v", pts)
+	}
+}
+
+func TestCostModelAndStats(t *testing.T) {
+	ds, _ := dataset.Generate(dataset.Spec{
+		Name: "cm", N: 1000, D: 48, Clusters: 6, SubspaceDim: 5, RCTarget: 2.4, Seed: 6,
+	})
+	cmp, err := CostModel(ds, 10, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.PMTreeCC <= 0 || cmp.RTreeCC <= 0 {
+		t.Errorf("cost model: %+v", cmp)
+	}
+	st, err := DatasetStats(ds, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 1000 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestEstimatorStudyRuns(t *testing.T) {
+	ds, _ := dataset.Generate(dataset.Spec{
+		Name: "est", N: 600, D: 64, Clusters: 5, SubspaceDim: 6, RCTarget: 2.9, Seed: 9,
+	})
+	curves, err := EstimatorStudy(ds, 5, []int{100, 300}, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 4 {
+		t.Errorf("got %d curves", len(curves))
+	}
+}
+
+func TestPrinters(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []Row{{Algo: "PM-LSH", K: 10, C: 1.5, TimeMS: 1.2, Ratio: 1.001, Recall: 0.95, Queries: 10}}
+	PrintOverview(&buf, "Synth", rows)
+	PrintVaryK(&buf, "Synth", rows)
+	PrintTradeoff(&buf, "Synth", rows)
+	PrintSweep(&buf, "Synth", []SweepPoint{{Param: "s", Value: 5, TimeMS: 1, Ratio: 1, Recall: 1}})
+	out := buf.String()
+	for _, want := range []string{"PM-LSH", "Overall Ratio", "metrics vs k", "tradeoff", "parameter sweep"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed output missing %q", want)
+		}
+	}
+}

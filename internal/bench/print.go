@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/costmodel"
+	"repro/internal/dataset"
+	"repro/internal/estimator"
+)
+
+// PrintOverview writes a Table 4 block for one dataset.
+func PrintOverview(w io.Writer, dsName string, rows []Row) {
+	fmt.Fprintf(w, "== %s (k=%d, c=%.2f) ==\n", dsName, rows[0].K, rows[0].C)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Algorithm\tQuery Time (ms)\tOverall Ratio\tRecall")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.4f\t%.4f\n", r.Algo, r.TimeMS, r.Ratio, r.Recall)
+	}
+	tw.Flush()
+}
+
+// PrintVaryK writes Fig. 7–9 series grouped by algorithm.
+func PrintVaryK(w io.Writer, dsName string, rows []Row) {
+	fmt.Fprintf(w, "== %s: metrics vs k ==\n", dsName)
+	byAlgo := map[string][]Row{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := byAlgo[r.Algo]; !ok {
+			order = append(order, r.Algo)
+		}
+		byAlgo[r.Algo] = append(byAlgo[r.Algo], r)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Algorithm\tk\tTime (ms)\tRatio\tRecall")
+	for _, name := range order {
+		rs := byAlgo[name]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].K < rs[j].K })
+		for _, r := range rs {
+			fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.4f\t%.4f\n", r.Algo, r.K, r.TimeMS, r.Ratio, r.Recall)
+		}
+	}
+	tw.Flush()
+}
+
+// PrintTradeoff writes Fig. 10–11 curves (recall–time and ratio–time).
+func PrintTradeoff(w io.Writer, dsName string, rows []Row) {
+	fmt.Fprintf(w, "== %s: quality–time tradeoff (knob = c / probes / fraction) ==\n", dsName)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Algorithm\tKnob\tTime (ms)\tRecall\tRatio")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3g\t%.3f\t%.4f\t%.4f\n", r.Algo, r.C, r.TimeMS, r.Recall, r.Ratio)
+	}
+	tw.Flush()
+}
+
+// PrintSweep writes Fig. 6 series.
+func PrintSweep(w io.Writer, dsName string, pts []SweepPoint) {
+	fmt.Fprintf(w, "== %s: PM-LSH parameter sweep ==\n", dsName)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Param\tValue\tTime (ms)\tRecall\tRatio")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.4f\t%.4f\n", p.Param, p.Value, p.TimeMS, p.Recall, p.Ratio)
+	}
+	tw.Flush()
+}
+
+// PrintCostModel writes Table 2 rows.
+func PrintCostModel(w io.Writer, rows []costmodel.Comparison) {
+	fmt.Fprintln(w, "== Table 2: computation cost (CC) of PM-tree vs R-tree ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\tPM-tree CC\tR-tree CC\tReduction\tMeasured PM\tMeasured R")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f%%\t%.0f\t%.0f\n",
+			r.Dataset, r.PMTreeCC, r.RTreeCC, r.ReductionPc, r.MeasuredPM, r.MeasuredR)
+	}
+	tw.Flush()
+}
+
+// PrintDatasetStats writes Table 3 rows.
+func PrintDatasetStats(w io.Writer, names []string, stats []dataset.Stats) {
+	fmt.Fprintln(w, "== Table 3: dataset statistics ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\tn\td\tHV\tRC\tLID")
+	for i, s := range stats {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.4f\t%.2f\t%.1f\n", names[i], s.N, s.D, s.HV, s.RC, s.LID)
+	}
+	tw.Flush()
+}
+
+// PrintEstimatorCurves writes Fig. 3 series.
+func PrintEstimatorCurves(w io.Writer, curves estimator.Curves) {
+	fmt.Fprintln(w, "== Fig. 3: estimator quality vs probe budget T ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Estimator\tT\tRecall\tRatio")
+	for _, kind := range estimator.Kinds() {
+		for _, p := range curves[kind] {
+			fmt.Fprintf(tw, "%s\t%d\t%.4f\t%.4f\n", kind, p.T, p.Recall, p.Ratio)
+		}
+	}
+	tw.Flush()
+}

@@ -1,0 +1,331 @@
+// Package bptree implements an in-memory B+-tree keyed on float64 hash
+// values, the storage structure QALSH builds one instance of per hash
+// function. The tree supports the access pattern QALSH's virtual
+// rehashing needs: position a cursor at the query's projection and walk
+// outward in both directions in key order.
+package bptree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultOrder is the default maximum number of keys per node.
+const DefaultOrder = 64
+
+// Item is one (key, id) pair. Duplicate keys are allowed.
+type Item struct {
+	Key float64
+	ID  int32
+}
+
+type leafNode struct {
+	items []Item
+	next  *leafNode
+	prev  *leafNode
+}
+
+type innerNode struct {
+	// keys[i] is the smallest key reachable under children[i+1].
+	keys     []float64
+	children []interface{} // *innerNode or *leafNode
+}
+
+// Tree is an in-memory B+-tree with float64 keys.
+type Tree struct {
+	root  interface{}
+	order int
+	count int
+	head  *leafNode // leftmost leaf, for full scans
+}
+
+// New creates an empty tree. Order 0 selects DefaultOrder; the minimum
+// usable order is 4.
+func New(order int) (*Tree, error) {
+	if order == 0 {
+		order = DefaultOrder
+	}
+	if order < 4 {
+		return nil, fmt.Errorf("bptree: order must be >= 4, got %d", order)
+	}
+	leaf := &leafNode{}
+	return &Tree{root: leaf, order: order, head: leaf}, nil
+}
+
+// Bulk builds a tree from items in a single pass (the items are copied
+// and sorted). It is the preferred way to index a static dataset.
+func Bulk(items []Item, order int) (*Tree, error) {
+	t, err := New(order)
+	if err != nil {
+		return nil, err
+	}
+	sorted := make([]Item, len(items))
+	copy(sorted, items)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Key != sorted[j].Key {
+			return sorted[i].Key < sorted[j].Key
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	// Pack leaves at ~3/4 fill to leave room for later inserts.
+	fill := t.order * 3 / 4
+	if fill < 2 {
+		fill = 2
+	}
+	var leaves []*leafNode
+	for start := 0; start < len(sorted); start += fill {
+		end := start + fill
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		chunk := make([]Item, end-start)
+		copy(chunk, sorted[start:end])
+		leaves = append(leaves, &leafNode{items: chunk})
+	}
+	if len(leaves) == 0 {
+		return t, nil
+	}
+	for i := 1; i < len(leaves); i++ {
+		leaves[i-1].next = leaves[i]
+		leaves[i].prev = leaves[i-1]
+	}
+	t.head = leaves[0]
+	t.count = len(sorted)
+
+	// Build inner levels bottom-up.
+	level := make([]interface{}, len(leaves))
+	firstKey := make([]float64, len(leaves))
+	for i, l := range leaves {
+		level[i] = l
+		firstKey[i] = l.items[0].Key
+	}
+	for len(level) > 1 {
+		var nextLevel []interface{}
+		var nextFirst []float64
+		for start := 0; start < len(level); start += fill {
+			end := start + fill
+			if end > len(level) {
+				end = len(level)
+			}
+			in := &innerNode{}
+			in.children = append(in.children, level[start:end]...)
+			for i := start + 1; i < end; i++ {
+				in.keys = append(in.keys, firstKey[i])
+			}
+			nextLevel = append(nextLevel, in)
+			nextFirst = append(nextFirst, firstKey[start])
+		}
+		level = nextLevel
+		firstKey = nextFirst
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.count }
+
+// Insert adds one (key, id) pair.
+func (t *Tree) Insert(key float64, id int32) {
+	newChild, splitKey := t.insert(t.root, key, id)
+	if newChild != nil {
+		t.root = &innerNode{keys: []float64{splitKey}, children: []interface{}{t.root, newChild}}
+	}
+	t.count++
+}
+
+// insert descends recursively; on split it returns the new right
+// sibling and its separator key.
+func (t *Tree) insert(n interface{}, key float64, id int32) (interface{}, float64) {
+	switch node := n.(type) {
+	case *leafNode:
+		i := sort.Search(len(node.items), func(i int) bool { return node.items[i].Key > key })
+		node.items = append(node.items, Item{})
+		copy(node.items[i+1:], node.items[i:])
+		node.items[i] = Item{Key: key, ID: id}
+		if len(node.items) <= t.order {
+			return nil, 0
+		}
+		mid := len(node.items) / 2
+		right := &leafNode{items: append([]Item(nil), node.items[mid:]...)}
+		node.items = node.items[:mid]
+		right.next = node.next
+		right.prev = node
+		if node.next != nil {
+			node.next.prev = right
+		}
+		node.next = right
+		return right, right.items[0].Key
+	case *innerNode:
+		i := sort.Search(len(node.keys), func(i int) bool { return node.keys[i] > key })
+		newChild, splitKey := t.insert(node.children[i], key, id)
+		if newChild == nil {
+			return nil, 0
+		}
+		node.keys = append(node.keys, 0)
+		copy(node.keys[i+1:], node.keys[i:])
+		node.keys[i] = splitKey
+		node.children = append(node.children, nil)
+		copy(node.children[i+2:], node.children[i+1:])
+		node.children[i+1] = newChild
+		if len(node.children) <= t.order {
+			return nil, 0
+		}
+		midKey := len(node.keys) / 2
+		sep := node.keys[midKey]
+		right := &innerNode{
+			keys:     append([]float64(nil), node.keys[midKey+1:]...),
+			children: append([]interface{}(nil), node.children[midKey+1:]...),
+		}
+		node.keys = node.keys[:midKey]
+		node.children = node.children[:midKey+1]
+		return right, sep
+	default:
+		panic("bptree: corrupt node type")
+	}
+}
+
+// Cursor is a bidirectional position in key order. QALSH uses two
+// cursors per tree, walking left and right from the query projection.
+type Cursor struct {
+	leaf *leafNode
+	idx  int
+}
+
+// Seek returns a cursor positioned at the first item with key >= key.
+// When key is greater than every stored key, the cursor is invalid in
+// the forward direction but Prev resumes from the last item.
+func (t *Tree) Seek(key float64) *Cursor {
+	n := t.root
+	for {
+		switch node := n.(type) {
+		case *innerNode:
+			i := sort.Search(len(node.keys), func(i int) bool { return node.keys[i] > key })
+			n = node.children[i]
+		case *leafNode:
+			i := sort.Search(len(node.items), func(i int) bool { return node.items[i].Key >= key })
+			c := &Cursor{leaf: node, idx: i}
+			c.normalizeForward()
+			// Duplicates of a separator key may live in earlier leaves
+			// (the insert descent routes equal keys right of equal
+			// separators); walk back to the first duplicate.
+			for {
+				p := c.Clone()
+				if !p.Prev() || p.Item().Key < key {
+					break
+				}
+				*c = *p
+			}
+			return c
+		}
+	}
+}
+
+// normalizeForward advances past exhausted leaves, stopping at the last
+// leaf so Prev can still back up from the right end.
+func (c *Cursor) normalizeForward() {
+	for c.leaf != nil && c.idx >= len(c.leaf.items) && c.leaf.next != nil {
+		c.leaf = c.leaf.next
+		c.idx = 0
+	}
+}
+
+// Valid reports whether the cursor currently points at an item.
+func (c *Cursor) Valid() bool {
+	return c.leaf != nil && c.idx >= 0 && c.idx < len(c.leaf.items)
+}
+
+// Item returns the current item; it must only be called when Valid.
+func (c *Cursor) Item() Item { return c.leaf.items[c.idx] }
+
+// Next moves one item forward, reporting whether the cursor remains
+// valid. At the right end the cursor parks one past the last item so a
+// later Prev resumes from it.
+func (c *Cursor) Next() bool {
+	if c.leaf == nil {
+		return false
+	}
+	if c.idx < len(c.leaf.items) {
+		c.idx++
+	}
+	c.normalizeForward()
+	return c.Valid()
+}
+
+// Prev moves one item backward, reporting whether the cursor remains
+// valid. Calling Prev on a cursor parked past the right end resumes at
+// the last item; running off the left end invalidates the cursor
+// permanently.
+func (c *Cursor) Prev() bool {
+	if c.leaf == nil {
+		return false
+	}
+	c.idx--
+	for c.leaf != nil && c.idx < 0 {
+		c.leaf = c.leaf.prev
+		if c.leaf != nil {
+			c.idx = len(c.leaf.items) - 1
+		}
+	}
+	return c.Valid()
+}
+
+// Clone returns an independent copy of the cursor.
+func (c *Cursor) Clone() *Cursor { cp := *c; return &cp }
+
+// Range returns the ids of all items with key in [lo, hi].
+func (t *Tree) Range(lo, hi float64) []int32 {
+	var out []int32
+	c := t.Seek(lo)
+	for c.Valid() && c.Item().Key <= hi {
+		out = append(out, c.Item().ID)
+		c.Next()
+	}
+	return out
+}
+
+// Min returns the smallest key (ok=false when empty).
+func (t *Tree) Min() (float64, bool) {
+	l := t.head
+	for l != nil && len(l.items) == 0 {
+		l = l.next
+	}
+	if l == nil {
+		return 0, false
+	}
+	return l.items[0].Key, true
+}
+
+// Max returns the largest key (ok=false when empty).
+func (t *Tree) Max() (float64, bool) {
+	// Descend the rightmost spine.
+	n := t.root
+	for {
+		switch node := n.(type) {
+		case *innerNode:
+			n = node.children[len(node.children)-1]
+		case *leafNode:
+			if len(node.items) == 0 {
+				if node.prev == nil {
+					return 0, false
+				}
+				node = node.prev
+			}
+			return node.items[len(node.items)-1].Key, true
+		}
+	}
+}
+
+// Height returns the number of levels.
+func (t *Tree) Height() int {
+	h := 1
+	n := t.root
+	for {
+		in, ok := n.(*innerNode)
+		if !ok {
+			return h
+		}
+		h++
+		n = in.children[0]
+	}
+}

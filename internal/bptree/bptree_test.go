@@ -1,0 +1,306 @@
+package bptree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3); err == nil {
+		t.Error("order 3 should fail")
+	}
+	tr, err := New(0)
+	if err != nil || tr.order != DefaultOrder {
+		t.Errorf("default order: %v %v", tr, err)
+	}
+}
+
+func TestInsertAndRange(t *testing.T) {
+	tr, _ := New(4)
+	keys := []float64{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	for i, k := range keys {
+		tr.Insert(k, int32(i))
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	ids := tr.Range(2.5, 6.5)
+	// keys 3,4,5,6 → ids 3,7,0,8
+	want := map[int32]bool{3: true, 7: true, 0: true, 8: true}
+	if len(ids) != 4 {
+		t.Fatalf("Range returned %v", ids)
+	}
+	for _, id := range ids {
+		if !want[id] {
+			t.Errorf("unexpected id %d", id)
+		}
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr, _ := New(4)
+	for i := 0; i < 50; i++ {
+		tr.Insert(1.0, int32(i))
+	}
+	ids := tr.Range(1, 1)
+	if len(ids) != 50 {
+		t.Errorf("got %d duplicates, want 50", len(ids))
+	}
+}
+
+func TestSeekAndCursor(t *testing.T) {
+	tr, _ := New(4)
+	for i := 0; i < 100; i++ {
+		tr.Insert(float64(i), int32(i))
+	}
+	c := tr.Seek(49.5)
+	if !c.Valid() || c.Item().Key != 50 {
+		t.Fatalf("Seek(49.5) = %+v", c.Item())
+	}
+	if !c.Next() || c.Item().Key != 51 {
+		t.Error("Next failed")
+	}
+	if !c.Prev() || c.Item().Key != 50 {
+		t.Error("Prev failed")
+	}
+	if !c.Prev() || c.Item().Key != 49 {
+		t.Error("Prev across seek origin failed")
+	}
+	// Walk left to the start.
+	for c.Prev() {
+	}
+	if c.Valid() {
+		t.Error("cursor should be invalid at left end")
+	}
+}
+
+func TestSeekPastEnd(t *testing.T) {
+	tr, _ := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Insert(float64(i), int32(i))
+	}
+	c := tr.Seek(100)
+	if c.Valid() {
+		t.Error("Seek past end should be invalid forward")
+	}
+	if !c.Prev() || c.Item().Key != 9 {
+		t.Errorf("Prev from past-end should land on last item, got %+v", c)
+	}
+}
+
+func TestSeekBeforeStart(t *testing.T) {
+	tr, _ := New(4)
+	for i := 5; i < 15; i++ {
+		tr.Insert(float64(i), int32(i))
+	}
+	c := tr.Seek(-100)
+	if !c.Valid() || c.Item().Key != 5 {
+		t.Errorf("Seek before start should land on first item")
+	}
+}
+
+func TestCursorClone(t *testing.T) {
+	tr, _ := New(4)
+	for i := 0; i < 20; i++ {
+		tr.Insert(float64(i), int32(i))
+	}
+	c := tr.Seek(10)
+	cl := c.Clone()
+	c.Next()
+	if cl.Item().Key != 10 {
+		t.Error("clone should be independent")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, _ := New(4)
+	if tr.Len() != 0 {
+		t.Error("empty Len")
+	}
+	if ids := tr.Range(0, 10); ids != nil {
+		t.Errorf("empty Range = %v", ids)
+	}
+	if _, ok := tr.Min(); ok {
+		t.Error("empty Min should be !ok")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Error("empty Max should be !ok")
+	}
+	c := tr.Seek(5)
+	if c.Valid() || c.Next() || c.Prev() {
+		t.Error("empty cursor should stay invalid")
+	}
+}
+
+func TestMinMaxHeight(t *testing.T) {
+	tr, _ := New(4)
+	rng := rand.New(rand.NewSource(1))
+	lo, hi := 1e18, -1e18
+	for i := 0; i < 500; i++ {
+		k := rng.NormFloat64() * 100
+		if k < lo {
+			lo = k
+		}
+		if k > hi {
+			hi = k
+		}
+		tr.Insert(k, int32(i))
+	}
+	if mn, ok := tr.Min(); !ok || mn != lo {
+		t.Errorf("Min = %v, want %v", mn, lo)
+	}
+	if mx, ok := tr.Max(); !ok || mx != hi {
+		t.Errorf("Max = %v, want %v", mx, hi)
+	}
+	if tr.Height() < 3 {
+		t.Errorf("height %d too small for 500 keys at order 4", tr.Height())
+	}
+}
+
+// Property: Range(lo,hi) on random inserts equals the brute-force
+// filter, in multiset terms.
+func TestRangeQuick(t *testing.T) {
+	f := func(seed int64, loU, hiU int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, _ := New(6)
+		keys := make([]float64, 200)
+		for i := range keys {
+			keys[i] = float64(rng.Intn(100))
+			tr.Insert(keys[i], int32(i))
+		}
+		lo, hi := float64(loU), float64(hiU)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := tr.Range(lo, hi)
+		want := 0
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: full forward scan visits all items in sorted order.
+func TestFullScanSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr, _ := New(8)
+	var keys []float64
+	for i := 0; i < 1000; i++ {
+		k := rng.NormFloat64()
+		keys = append(keys, k)
+		tr.Insert(k, int32(i))
+	}
+	sort.Float64s(keys)
+	c := tr.Seek(-1e18)
+	i := 0
+	for ; c.Valid(); c.Next() {
+		if c.Item().Key != keys[i] {
+			t.Fatalf("scan[%d] = %v, want %v", i, c.Item().Key, keys[i])
+		}
+		i++
+	}
+	if i != 1000 {
+		t.Errorf("scan visited %d items, want 1000", i)
+	}
+}
+
+func TestBulkMatchesInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := make([]Item, 3000)
+	for i := range items {
+		items[i] = Item{Key: rng.NormFloat64() * 50, ID: int32(i)}
+	}
+	bulk, err := Bulk(items, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, _ := New(32)
+	for _, it := range items {
+		inc.Insert(it.Key, it.ID)
+	}
+	if bulk.Len() != inc.Len() {
+		t.Fatalf("Len %d vs %d", bulk.Len(), inc.Len())
+	}
+	// Same sorted sequence from both.
+	cb := bulk.Seek(-1e18)
+	ci := inc.Seek(-1e18)
+	for cb.Valid() || ci.Valid() {
+		if cb.Valid() != ci.Valid() {
+			t.Fatal("scan lengths differ")
+		}
+		if cb.Item().Key != ci.Item().Key {
+			t.Fatalf("key %v vs %v", cb.Item().Key, ci.Item().Key)
+		}
+		cb.Next()
+		ci.Next()
+	}
+	// Bulk tree supports subsequent inserts.
+	bulk.Insert(12345, 99999)
+	if got := bulk.Range(12345, 12345); len(got) != 1 || got[0] != 99999 {
+		t.Errorf("insert after bulk: %v", got)
+	}
+}
+
+func TestBulkEmpty(t *testing.T) {
+	tr, err := Bulk(nil, 0)
+	if err != nil || tr.Len() != 0 {
+		t.Errorf("empty bulk: %v %v", tr, err)
+	}
+	tr.Insert(1, 1)
+	if tr.Len() != 1 {
+		t.Error("insert into empty bulk tree failed")
+	}
+}
+
+// QALSH access pattern: two cursors expanding outward must visit every
+// item exactly once in order of |key - anchor|.
+func TestBidirectionalExpansion(t *testing.T) {
+	tr, _ := New(8)
+	rng := rand.New(rand.NewSource(3))
+	n := 300
+	for i := 0; i < n; i++ {
+		tr.Insert(rng.NormFloat64()*10, int32(i))
+	}
+	anchor := 0.7
+	right := tr.Seek(anchor)
+	left := right.Clone()
+	leftValid := left.Prev()
+	rightValid := right.Valid()
+	seen := 0
+	prevGap := -1.0
+	for leftValid || rightValid {
+		var useLeft bool
+		switch {
+		case !rightValid:
+			useLeft = true
+		case !leftValid:
+			useLeft = false
+		default:
+			useLeft = anchor-left.Item().Key <= right.Item().Key-anchor
+		}
+		var gap float64
+		if useLeft {
+			gap = anchor - left.Item().Key
+			leftValid = left.Prev()
+		} else {
+			gap = right.Item().Key - anchor
+			rightValid = right.Next()
+		}
+		if gap < prevGap-1e-12 {
+			t.Fatalf("expansion not monotone: %v after %v", gap, prevGap)
+		}
+		prevGap = gap
+		seen++
+	}
+	if seen != n {
+		t.Errorf("expansion visited %d, want %d", seen, n)
+	}
+}

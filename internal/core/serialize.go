@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/lsh"
+	"repro/internal/pmtree"
+	"repro/internal/rtree"
+	"repro/internal/stats"
+)
+
+// Binary serialization of a PM-LSH index. The stream is little-endian:
+//
+//	magic "PLS1"
+//	config: m u32 | pivots u32 | capacity u32 | alpha1 f64 | seed i64 |
+//	        sampleSize u32 | rminShrink f64 | beta f64 | useRTree u8
+//	dim u32 | n u32
+//	projection rows (m × dim f64)
+//	distCDF length u32 + values
+//	data (n × dim f64)
+//	PM-tree stream (absent when useRTree: the R-tree is rebuilt from
+//	the stored projections on load, which is cheap relative to I/O)
+//
+// A loaded index answers queries identically to the saved one.
+
+var plsMagic = [4]byte{'P', 'L', 'S', '1'}
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cw := &countingWriter{w: bw}
+	if err := ix.encode(cw); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, fmt.Errorf("core: flush: %w", err)
+	}
+	return cw.n, nil
+}
+
+func (ix *Index) encode(w io.Writer) error {
+	if _, err := w.Write(plsMagic[:]); err != nil {
+		return fmt.Errorf("core: write magic: %w", err)
+	}
+	cfg := ix.cfg
+	useRTree := byte(0)
+	if cfg.UseRTree {
+		useRTree = 1
+	}
+	ints := []uint32{uint32(cfg.M), uint32(cfg.NumPivots), uint32(cfg.Capacity)}
+	if err := binary.Write(w, binary.LittleEndian, ints); err != nil {
+		return fmt.Errorf("core: write config ints: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, cfg.Alpha1); err != nil {
+		return fmt.Errorf("core: write alpha1: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, cfg.Seed); err != nil {
+		return fmt.Errorf("core: write seed: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(cfg.DistSampleSize)); err != nil {
+		return fmt.Errorf("core: write sample size: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, []float64{cfg.RMinShrink, cfg.Beta}); err != nil {
+		return fmt.Errorf("core: write float config: %w", err)
+	}
+	if _, err := w.Write([]byte{useRTree}); err != nil {
+		return fmt.Errorf("core: write tree flag: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, []uint32{uint32(ix.dim), uint32(len(ix.data))}); err != nil {
+		return fmt.Errorf("core: write shape: %w", err)
+	}
+	for i := 0; i < ix.cfg.M; i++ {
+		if err := binary.Write(w, binary.LittleEndian, ix.proj.Row(i)); err != nil {
+			return fmt.Errorf("core: write projection row %d: %w", i, err)
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(ix.distCDF))); err != nil {
+		return fmt.Errorf("core: write cdf length: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, ix.distCDF); err != nil {
+		return fmt.Errorf("core: write cdf: %w", err)
+	}
+	for _, p := range ix.data {
+		if err := binary.Write(w, binary.LittleEndian, p); err != nil {
+			return fmt.Errorf("core: write data: %w", err)
+		}
+	}
+	if !cfg.UseRTree {
+		if _, err := ix.tree.WriteTo(w); err != nil {
+			return fmt.Errorf("core: write tree: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load deserializes an index previously written with WriteTo.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: read magic: %w", err)
+	}
+	if magic != plsMagic {
+		return nil, fmt.Errorf("core: bad magic %q", magic)
+	}
+	var cfg Config
+	ints := make([]uint32, 3)
+	if err := binary.Read(br, binary.LittleEndian, ints); err != nil {
+		return nil, fmt.Errorf("core: read config ints: %w", err)
+	}
+	cfg.M, cfg.NumPivots, cfg.Capacity = int(ints[0]), int(ints[1]), int(ints[2])
+	cfg.ExplicitZeroPivots = cfg.NumPivots == 0
+	if err := binary.Read(br, binary.LittleEndian, &cfg.Alpha1); err != nil {
+		return nil, fmt.Errorf("core: read alpha1: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &cfg.Seed); err != nil {
+		return nil, fmt.Errorf("core: read seed: %w", err)
+	}
+	var sampleSize uint32
+	if err := binary.Read(br, binary.LittleEndian, &sampleSize); err != nil {
+		return nil, fmt.Errorf("core: read sample size: %w", err)
+	}
+	cfg.DistSampleSize = int(sampleSize)
+	fl := make([]float64, 2)
+	if err := binary.Read(br, binary.LittleEndian, fl); err != nil {
+		return nil, fmt.Errorf("core: read float config: %w", err)
+	}
+	cfg.RMinShrink, cfg.Beta = fl[0], fl[1]
+	var treeFlag [1]byte
+	if _, err := io.ReadFull(br, treeFlag[:]); err != nil {
+		return nil, fmt.Errorf("core: read tree flag: %w", err)
+	}
+	cfg.UseRTree = treeFlag[0] == 1
+
+	shape := make([]uint32, 2)
+	if err := binary.Read(br, binary.LittleEndian, shape); err != nil {
+		return nil, fmt.Errorf("core: read shape: %w", err)
+	}
+	dim, n := int(shape[0]), int(shape[1])
+	if cfg.M < 1 || dim < 1 || n < 1 || cfg.Alpha1 <= 0 || cfg.Alpha1 >= 1 {
+		return nil, fmt.Errorf("core: corrupt header (m=%d dim=%d n=%d α1=%v)", cfg.M, dim, n, cfg.Alpha1)
+	}
+
+	rows := make([][]float64, cfg.M)
+	for i := range rows {
+		row := make([]float64, dim)
+		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
+			return nil, fmt.Errorf("core: read projection row %d: %w", i, err)
+		}
+		rows[i] = row
+	}
+	proj, err := lsh.ProjectionFromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore projection: %w", err)
+	}
+
+	var cdfLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &cdfLen); err != nil {
+		return nil, fmt.Errorf("core: read cdf length: %w", err)
+	}
+	if int(cdfLen) > 10*cfg.DistSampleSize+1 {
+		return nil, fmt.Errorf("core: implausible cdf length %d", cdfLen)
+	}
+	cdf := make([]float64, cdfLen)
+	if err := binary.Read(br, binary.LittleEndian, cdf); err != nil {
+		return nil, fmt.Errorf("core: read cdf: %w", err)
+	}
+
+	flat := make([]float64, n*dim)
+	if err := binary.Read(br, binary.LittleEndian, flat); err != nil {
+		return nil, fmt.Errorf("core: read data: %w", err)
+	}
+	data := make([][]float64, n)
+	for i := range data {
+		data[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+
+	var pidx projectedIndex
+	var tree *pmtree.Tree
+	if cfg.UseRTree {
+		projected := proj.ProjectAll(data)
+		rt, err := rtree.Build(projected, nil, rtree.Config{Capacity: cfg.Capacity})
+		if err != nil {
+			return nil, fmt.Errorf("core: rebuild R-tree: %w", err)
+		}
+		pidx = rtAdapter{rt}
+	} else {
+		tree, err = pmtree.Read(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: read tree: %w", err)
+		}
+		if tree.Len() != n || tree.Dim() != cfg.M {
+			return nil, fmt.Errorf("core: tree shape %d×%d does not match index %d×%d",
+				tree.Len(), tree.Dim(), n, cfg.M)
+		}
+		pidx = pmAdapter{tree}
+	}
+
+	chi := stats.ChiSquared{K: cfg.M}
+	q, err := chi.UpperQuantile(cfg.Alpha1)
+	if err != nil {
+		return nil, fmt.Errorf("core: deriving t: %w", err)
+	}
+	t := math.Sqrt(q)
+	kappa := 1.0
+	if xStar, err := chi.Quantile(paperAlpha2); err == nil {
+		kappa = xStar * paperC * paperC / (t * t)
+	}
+	ix := &Index{
+		cfg:     cfg,
+		data:    data,
+		proj:    proj,
+		pidx:    pidx,
+		tree:    tree,
+		dim:     dim,
+		t:       t,
+		chi:     chi,
+		kappa:   kappa,
+		distCDF: cdf,
+	}
+	// Sanity: stored data must be finite.
+	for i := 0; i < n; i += 1 + n/64 {
+		if !finite(data[i]) {
+			return nil, fmt.Errorf("core: non-finite data at row %d", i)
+		}
+	}
+	return ix, nil
+}
+
+func finite(fs []float64) bool {
+	for _, f := range fs {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestIndexSerializeRoundTrip(t *testing.T) {
+	data := clusteredData(800, 16, 5, 60)
+	orig, err := Build(data, Config{Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() || loaded.Dim() != orig.Dim() || loaded.M() != orig.M() {
+		t.Fatalf("shape mismatch")
+	}
+	if loaded.T() != orig.T() {
+		t.Errorf("t differs: %v vs %v", loaded.T(), orig.T())
+	}
+
+	// Identical answers for a batch of queries.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 12; trial++ {
+		q := make([]float64, 16)
+		for j := range q {
+			q[j] = rng.NormFloat64() * 15
+		}
+		a, err := orig.KNN(q, 8, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.KNN(q, 8, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("result counts differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || a[i].Dist != b[i].Dist {
+				t.Fatalf("results differ at %d: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	}
+
+	// The loaded index accepts inserts.
+	id, err := loaded.Insert(data[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 800 {
+		t.Errorf("insert after load assigned id %d", id)
+	}
+}
+
+func TestIndexSerializeRTreeVariant(t *testing.T) {
+	data := clusteredData(400, 12, 4, 61)
+	orig, _ := Build(data, Config{Seed: 21, UseRTree: true})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Tree() != nil {
+		t.Error("R-LSH load should have no PM-tree")
+	}
+	a, _ := orig.KNN(data[3], 5, 1.5)
+	b, _ := loaded.KNN(data[3], 5, 1.5)
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("R-LSH round trip changed results")
+		}
+	}
+}
+
+func TestIndexSerializeZeroPivots(t *testing.T) {
+	data := clusteredData(300, 10, 3, 62)
+	orig, _ := Build(data, Config{Seed: 22, ExplicitZeroPivots: true})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Tree().NumPivots() != 0 {
+		t.Errorf("pivots = %d after load", loaded.Tree().NumPivots())
+	}
+}
+
+func TestLoadRejectsCorruptStreams(t *testing.T) {
+	data := clusteredData(200, 8, 3, 63)
+	orig, _ := Build(data, Config{Seed: 23})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+	bad := append([]byte(nil), raw...)
+	bad[0] = 'Z'
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Load(bytes.NewReader(raw[:len(raw)/3])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}

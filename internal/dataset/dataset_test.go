@@ -1,0 +1,297 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{Name: "x", N: 100, D: 10, Clusters: 4, SubspaceDim: 3, RCTarget: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Clusters: 0 is valid (auto-selection).
+	if err := (Spec{Name: "auto", N: 100, D: 10, Clusters: 0, SubspaceDim: 3, RCTarget: 2}).Validate(); err != nil {
+		t.Errorf("auto clusters should validate: %v", err)
+	}
+	bad := []Spec{
+		{Name: "n0", N: 0, D: 10, Clusters: 1, SubspaceDim: 2, RCTarget: 2},
+		{Name: "d0", N: 10, D: 0, Clusters: 1, SubspaceDim: 2, RCTarget: 2},
+		{Name: "cneg", N: 10, D: 10, Clusters: -1, SubspaceDim: 2, RCTarget: 2},
+		{Name: "sub", N: 10, D: 4, Clusters: 1, SubspaceDim: 5, RCTarget: 2},
+		{Name: "rc", N: 10, D: 4, Clusters: 1, SubspaceDim: 2, RCTarget: 1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %q should fail validation", s.Name)
+		}
+	}
+}
+
+func TestPaperSpecs(t *testing.T) {
+	specs, err := PaperSpecs(0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 7 {
+		t.Fatalf("got %d specs, want 7", len(specs))
+	}
+	names := map[string]int{"Audio": 192, "Deep": 256, "NUS": 500, "MNIST": 784, "GIST": 960, "Cifar": 1024, "Trevi": 4096}
+	for _, s := range specs {
+		wantD, ok := names[s.Name]
+		if !ok {
+			t.Errorf("unexpected dataset %q", s.Name)
+			continue
+		}
+		if s.D != wantD {
+			t.Errorf("%s: d = %d, want %d", s.Name, s.D, wantD)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	if _, err := PaperSpecs(0, 0); err == nil {
+		t.Error("scale 0 should fail")
+	}
+	if _, err := PaperSpecs(2, 0); err == nil {
+		t.Error("scale > 1 should fail")
+	}
+	capped, _ := PaperSpecs(1.0, 5000)
+	for _, s := range capped {
+		if s.N > 5000 {
+			t.Errorf("%s: n = %d exceeds cap", s.Name, s.N)
+		}
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, err := SpecByName("Cifar", 0.02, 0)
+	if err != nil || s.Name != "Cifar" {
+		t.Errorf("SpecByName: %v %v", s, err)
+	}
+	if _, err := SpecByName("Nope", 0.02, 0); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	spec := Spec{Name: "t", N: 500, D: 32, Clusters: 5, SubspaceDim: 4, RCTarget: 2, Seed: 1}
+	ds, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Points) != 500 {
+		t.Fatalf("n = %d", len(ds.Points))
+	}
+	for _, p := range ds.Points {
+		if len(p) != 32 {
+			t.Fatal("wrong dimension")
+		}
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite coordinate")
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Name: "t", N: 100, D: 16, Clusters: 3, SubspaceDim: 3, RCTarget: 2, Seed: 7}
+	a, _ := Generate(spec)
+	b, _ := Generate(spec)
+	for i := range a.Points {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != b.Points[i][j] {
+				t.Fatal("same seed must generate identical data")
+			}
+		}
+	}
+	spec.Seed = 8
+	c, _ := Generate(spec)
+	if a.Points[0][0] == c.Points[0][0] {
+		t.Error("different seed should differ")
+	}
+}
+
+func TestGenerateInvalid(t *testing.T) {
+	if _, err := Generate(Spec{}); err == nil {
+		t.Error("zero spec should fail")
+	}
+}
+
+func TestQueriesNearData(t *testing.T) {
+	spec := Spec{Name: "t", N: 400, D: 24, Clusters: 4, SubspaceDim: 4, RCTarget: 2.5, Seed: 2}
+	ds, _ := Generate(spec)
+	qs := ds.Queries(20, 3)
+	if len(qs) != 20 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	// Every query should be closer to its source's cluster than a
+	// random point would be: NN distance well below the mean distance.
+	for _, q := range qs {
+		nn := math.Inf(1)
+		var mean float64
+		for _, p := range ds.Points {
+			d := vec.L2(q, p)
+			if d < nn {
+				nn = d
+			}
+			mean += d
+		}
+		mean /= float64(len(ds.Points))
+		if nn > mean/1.2 {
+			t.Errorf("query NN %v not much below mean %v", nn, mean)
+		}
+	}
+}
+
+func TestGroundTruth(t *testing.T) {
+	spec := Spec{Name: "t", N: 300, D: 12, Clusters: 3, SubspaceDim: 3, RCTarget: 2, Seed: 4}
+	ds, _ := Generate(spec)
+	qs := ds.Queries(5, 5)
+	gt, err := GroundTruth(ds.Points, qs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gt) != 5 {
+		t.Fatalf("got %d truth rows", len(gt))
+	}
+	for qi, row := range gt {
+		if len(row) != 10 {
+			t.Fatalf("row %d has %d neighbors", qi, len(row))
+		}
+		// Sorted and matching a naive recomputation.
+		var all []float64
+		for _, p := range ds.Points {
+			all = append(all, vec.L2(qs[qi], p))
+		}
+		sort.Float64s(all)
+		for i, nb := range row {
+			if math.Abs(nb.Dist-all[i]) > 1e-9 {
+				t.Fatalf("row %d pos %d: %v vs %v", qi, i, nb.Dist, all[i])
+			}
+			if i > 0 && row[i].Dist < row[i-1].Dist {
+				t.Fatal("unsorted truth")
+			}
+		}
+	}
+	if _, err := GroundTruth(ds.Points, qs, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := GroundTruth(nil, qs, 1); err == nil {
+		t.Error("empty data should fail")
+	}
+}
+
+func TestComputeStatsRanges(t *testing.T) {
+	spec := Spec{Name: "t", N: 1500, D: 64, Clusters: 8, SubspaceDim: 6, RCTarget: 2.5, Seed: 6}
+	ds, _ := Generate(spec)
+	st, err := ComputeStats(ds.Points, StatsConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 1500 || st.D != 64 {
+		t.Errorf("N/D = %d/%d", st.N, st.D)
+	}
+	if st.HV < 0.5 || st.HV > 1 {
+		t.Errorf("HV = %v outside plausible range", st.HV)
+	}
+	if st.RC < 1.2 || st.RC > 6 {
+		t.Errorf("RC = %v far from target 2.5", st.RC)
+	}
+	// LID should land near the subspace dimension, not near D.
+	if st.LID < 2 || st.LID > 20 {
+		t.Errorf("LID = %v, expected near %d", st.LID, spec.SubspaceDim)
+	}
+}
+
+// LID must track the generator's intrinsic dimension: a dataset built
+// in a 3-dimensional subspace must report far lower LID than one built
+// in a 20-dimensional subspace. RC = 5 keeps both corners feasible with
+// clusters large enough for the 50-NN LID estimate (low sub + low RC is
+// geometrically impossible with dense clusters: the RC floor √(sub/q)
+// forces tiny clusters there).
+func TestLIDDiscriminates(t *testing.T) {
+	low, _ := Generate(Spec{Name: "lo", N: 2000, D: 64, Clusters: 8, SubspaceDim: 3, RCTarget: 5, Seed: 7})
+	high, _ := Generate(Spec{Name: "hi", N: 2000, D: 64, Clusters: 8, SubspaceDim: 20, RCTarget: 5, Seed: 8})
+	cfg := StatsConfig{Seed: 2, LIDNeighbors: 50}
+	stLow, _ := ComputeStats(low.Points, cfg)
+	stHigh, _ := ComputeStats(high.Points, cfg)
+	if stLow.LID >= stHigh.LID {
+		t.Errorf("LID failed to discriminate: %v (sub=3) vs %v (sub=20)", stLow.LID, stHigh.LID)
+	}
+	if stLow.LID > 8 {
+		t.Errorf("sub=3 dataset has LID %v", stLow.LID)
+	}
+	if stHigh.LID < 10 {
+		t.Errorf("sub=20 dataset has LID %v", stHigh.LID)
+	}
+}
+
+// RC must track the generator's contrast target (in a feasible corner:
+// sub high enough that the RC floor sits below both targets).
+func TestRCDiscriminates(t *testing.T) {
+	tight, _ := Generate(Spec{Name: "tight", N: 1500, D: 48, Clusters: 6, SubspaceDim: 16, RCTarget: 3.0, Seed: 9})
+	loose, _ := Generate(Spec{Name: "loose", N: 1500, D: 48, Clusters: 6, SubspaceDim: 16, RCTarget: 1.8, Seed: 10})
+	stT, _ := ComputeStats(tight.Points, StatsConfig{Seed: 3})
+	stL, _ := ComputeStats(loose.Points, StatsConfig{Seed: 3})
+	if stT.RC <= stL.RC {
+		t.Errorf("RC failed to discriminate: target 3.0 → %v, target 1.8 → %v", stT.RC, stL.RC)
+	}
+	if stT.RC < 2.2 {
+		t.Errorf("tight RC %v far from target 3.0", stT.RC)
+	}
+	if stL.RC > 2.4 {
+		t.Errorf("loose RC %v far from target 1.8", stL.RC)
+	}
+}
+
+func TestStatsDegenerate(t *testing.T) {
+	if _, err := ComputeStats([][]float64{{1}, {2}}, StatsConfig{}); err == nil {
+		t.Error("too-small dataset should fail")
+	}
+	// All-identical points: HV = 1, RC/LID degrade gracefully.
+	dup := make([][]float64, 50)
+	for i := range dup {
+		dup[i] = []float64{1, 2, 3}
+	}
+	st, err := ComputeStats(dup, StatsConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HV != 1 {
+		t.Errorf("identical points should give HV=1, got %v", st.HV)
+	}
+}
+
+func TestEcdf(t *testing.T) {
+	s := []float64{1, 2, 2, 3}
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {9, 1},
+	}
+	for _, tc := range tests {
+		if got := ecdf(s, tc.x); got != tc.want {
+			t.Errorf("ecdf(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestKnnDistances(t *testing.T) {
+	data := [][]float64{{0}, {1}, {3}, {6}, {10}}
+	got := knnDistances(data, []float64{0}, 3)
+	want := []float64{1, 3, 6}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("knnDistances = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package e2lsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func clusteredData(n, d, clusters int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, clusters)
+	for i := range centers {
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = rng.NormFloat64() * 20
+		}
+		centers[i] = c
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		c := centers[rng.Intn(clusters)]
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = c[j] + rng.NormFloat64()*2
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// nnDist estimates the typical NN distance of the data, the natural R.
+func nnDist(data [][]float64) float64 {
+	var sum float64
+	n := 20
+	for i := 0; i < n; i++ {
+		best := math.Inf(1)
+		for j, p := range data {
+			if j == i {
+				continue
+			}
+			if d := vec.L2(data[i], p); d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return sum / float64(n)
+}
+
+func TestBuildValidation(t *testing.T) {
+	data := clusteredData(50, 8, 2, 1)
+	if _, err := Build(nil, Config{R: 1}); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	if _, err := Build(data, Config{R: 0}); err == nil {
+		t.Error("R=0 should fail")
+	}
+	if _, err := Build(data, Config{R: 1, C: 0.9}); err == nil {
+		t.Error("c<1 should fail")
+	}
+	if _, err := Build(data, Config{R: 1, W: -1}); err == nil {
+		t.Error("negative W should fail")
+	}
+}
+
+func TestDerivedParameters(t *testing.T) {
+	data := clusteredData(2000, 16, 6, 2)
+	r := nnDist(data)
+	ix, err := Build(data, Config{R: r, C: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.HashesPerTable() < 1 || ix.NumTables() < 1 {
+		t.Errorf("m=%d L=%d", ix.HashesPerTable(), ix.NumTables())
+	}
+	p1, p2 := ix.CollisionProbs()
+	if !(p1 > p2 && p2 > 0 && p1 < 1) {
+		t.Errorf("p1=%v p2=%v must satisfy 0 < p2 < p1 < 1", p1, p2)
+	}
+	if ix.Len() != 2000 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+}
+
+// Definition 3 contract: a ball centred on a data point must return a
+// point within c·r (the point itself collides with probability 1 at
+// scale 1... modulo bucket boundaries, so check the c·r bound on hits
+// and a reasonable hit rate).
+func TestBallCoverContract(t *testing.T) {
+	data := clusteredData(1500, 16, 6, 3)
+	r := nnDist(data)
+	ix, _ := Build(data, Config{R: r, C: 2, Seed: 2})
+	hits := 0
+	for i := 0; i < 40; i++ {
+		q := data[i*7]
+		res, err := ix.BallCover(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != nil {
+			hits++
+			if res.Dist > 2*r+1e-9 {
+				t.Errorf("BallCover returned %v > c·r = %v", res.Dist, 2*r)
+			}
+		}
+	}
+	// The scheme guarantees a constant success probability; empirically
+	// self-queries nearly always hit their own bucket.
+	if hits < 25 {
+		t.Errorf("only %d/40 self ball covers hit", hits)
+	}
+}
+
+func TestBallCoverValidation(t *testing.T) {
+	data := clusteredData(100, 8, 2, 4)
+	ix, _ := Build(data, Config{R: 1, Seed: 3})
+	if _, err := ix.BallCover([]float64{1}, 1); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+	if _, err := ix.BallCover(data[0], 0); err == nil {
+		t.Error("scale 0 should fail")
+	}
+}
+
+// The Section 2.2 reduction: ANN must return a point within c² of the
+// true NN for most queries.
+func TestANNApproximation(t *testing.T) {
+	data := clusteredData(1500, 16, 6, 5)
+	r := nnDist(data)
+	ix, _ := Build(data, Config{R: r / 2, C: 1.5, Seed: 4})
+	rng := rand.New(rand.NewSource(6))
+	ok, total := 0, 0
+	for qi := 0; qi < 25; qi++ {
+		q := vec.Clone(data[rng.Intn(len(data))])
+		for j := range q {
+			q[j] += rng.NormFloat64() * 0.5
+		}
+		res, err := ix.ANN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == nil {
+			continue
+		}
+		total++
+		best := math.Inf(1)
+		for _, p := range data {
+			if d := vec.L2(q, p); d < best {
+				best = d
+			}
+		}
+		// c²-approximation from the (r,c)-BC reduction.
+		if res.Dist <= 1.5*1.5*best+1e-9 {
+			ok++
+		}
+	}
+	if total < 20 {
+		t.Fatalf("ANN answered only %d/25 queries", total)
+	}
+	if float64(ok)/float64(total) < 0.8 {
+		t.Errorf("only %d/%d ANN answers were c²-approximate", ok, total)
+	}
+}
+
+func TestKNNBasic(t *testing.T) {
+	data := clusteredData(1000, 12, 5, 7)
+	r := nnDist(data)
+	ix, _ := Build(data, Config{R: r, C: 1.5, Seed: 5})
+	res, err := ix.KNN(data[10], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	if res[0].ID != 10 || res[0].Dist != 0 {
+		t.Errorf("self query top result: %+v", res[0])
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist {
+			t.Error("unsorted results")
+		}
+	}
+	if _, err := ix.KNN(data[0], 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := ix.KNN([]float64{1}, 3); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+}
+
+// More tables must not reduce the hit rate (the L-repetition argument
+// behind the scheme's constant success probability).
+func TestMoreTablesHelp(t *testing.T) {
+	data := clusteredData(800, 12, 4, 8)
+	r := nnDist(data)
+	hitRate := func(L int) float64 {
+		ix, err := Build(data, Config{R: r, C: 2, L: L, M: 8, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits := 0
+		for i := 0; i < 40; i++ {
+			res, err := ix.BallCover(data[i*11], 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res != nil {
+				hits++
+			}
+		}
+		return float64(hits) / 40
+	}
+	one := hitRate(1)
+	many := hitRate(16)
+	if many < one-0.05 {
+		t.Errorf("16 tables (%v) should not hit less than 1 table (%v)", many, one)
+	}
+}

@@ -1,0 +1,134 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+func trevLike(n int, seed int64) *dataset.Dataset {
+	ds, err := dataset.Generate(dataset.Spec{
+		Name: "trevi-like", N: n, D: 128, Clusters: 8, SubspaceDim: 9, RCTarget: 2.9, Seed: seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+func TestRunValidation(t *testing.T) {
+	ds := trevLike(300, 1)
+	qs := ds.Queries(2, 2)
+	if _, err := Run(nil, qs, []int{100}, Config{}); err == nil {
+		t.Error("no data should fail")
+	}
+	if _, err := Run(ds.Points, nil, []int{100}, Config{}); err == nil {
+		t.Error("no queries should fail")
+	}
+	if _, err := Run(ds.Points, qs, nil, Config{}); err == nil {
+		t.Error("no T values should fail")
+	}
+	if _, err := Run(ds.Points, qs, []int{50}, Config{K: 100}); err == nil {
+		t.Error("T < K should fail")
+	}
+	if _, err := Run(ds.Points, qs, []int{10000}, Config{}); err == nil {
+		t.Error("T > n should fail")
+	}
+}
+
+// The content of Fig. 3: L2 dominates L1 and QD, and all three beat
+// Rand by a wide margin at small T. At T = n every estimator reaches
+// recall 1 (the cut no longer filters anything).
+func TestFig3Shape(t *testing.T) {
+	ds := trevLike(1200, 3)
+	qs := ds.Queries(12, 4)
+	curves, err := Run(ds.Points, qs, []int{60, 200, 1200}, Config{K: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range Kinds() {
+		pts := curves[kind]
+		if len(pts) != 3 {
+			t.Fatalf("%s: %d points", kind, len(pts))
+		}
+		// Recall must be non-decreasing in T and reach 1 at T=n.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Recall < pts[i-1].Recall-1e-9 {
+				t.Errorf("%s: recall decreased with T: %+v", kind, pts)
+			}
+		}
+		if math.Abs(pts[2].Recall-1) > 1e-9 {
+			t.Errorf("%s: recall at T=n is %v, want 1", kind, pts[2].Recall)
+		}
+		if pts[2].Ratio > 1+1e-9 {
+			t.Errorf("%s: ratio at T=n is %v, want 1", kind, pts[2].Ratio)
+		}
+		// Ratios are always >= 1.
+		for _, p := range pts {
+			if p.Ratio < 1-1e-9 {
+				t.Errorf("%s: ratio %v below 1", kind, p.Ratio)
+			}
+		}
+	}
+	// Orderings at the small budget.
+	small := func(k Kind) Point { return curves[k][0] }
+	if small(L2).Recall <= small(Rand).Recall {
+		t.Errorf("L2 (%v) should beat Rand (%v)", small(L2).Recall, small(Rand).Recall)
+	}
+	if small(L2).Recall < small(QD).Recall-0.05 {
+		t.Errorf("L2 (%v) should be at least on par with QD (%v)", small(L2).Recall, small(QD).Recall)
+	}
+	if small(L2).Recall < small(L1).Recall-0.05 {
+		t.Errorf("L2 (%v) should be at least on par with L1 (%v)", small(L2).Recall, small(L1).Recall)
+	}
+	if small(Rand).Recall > 0.5 {
+		t.Errorf("Rand recall %v suspiciously high at T=60", small(Rand).Recall)
+	}
+}
+
+func TestQuantizationDistance(t *testing.T) {
+	// Same bucket → 0.
+	if got := quantizationDistance([]float64{0.5}, []float64{0.9}, 1); got != 0 {
+		t.Errorf("same bucket: %v", got)
+	}
+	// p in the next bucket up: gap from q=0.5 to edge at 1 → 0.25.
+	if got := quantizationDistance([]float64{0.5}, []float64{1.5}, 1); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("up gap: %v", got)
+	}
+	// p in the bucket below: gap from q=0.5 down to edge at 0 → 0.25.
+	if got := quantizationDistance([]float64{0.5}, []float64{-0.5}, 1); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("down gap: %v", got)
+	}
+	// Additive across dimensions.
+	got := quantizationDistance([]float64{0.5, 0.5}, []float64{1.5, -0.5}, 1)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("two dims: %v", got)
+	}
+}
+
+func TestAutoBucketWidthPositive(t *testing.T) {
+	ds := trevLike(200, 7)
+	if w := autoBucketWidth(ds.Points); w <= 0 {
+		t.Errorf("auto width %v", w)
+	}
+	if w := autoBucketWidth(nil); w != 1 {
+		t.Errorf("empty auto width %v", w)
+	}
+}
+
+func TestBestK(t *testing.T) {
+	cands := []struct {
+		id int32
+		d  float64
+	}{{1, 5}, {2, 1}, {3, 3}}
+	var in []metrics.Neighbor
+	for _, c := range cands {
+		in = append(in, metrics.Neighbor{ID: c.id, Dist: c.d})
+	}
+	out := bestK(in, 2)
+	if len(out) != 2 || out[0].ID != 2 || out[1].ID != 3 {
+		t.Errorf("bestK = %+v", out)
+	}
+}

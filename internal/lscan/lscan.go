@@ -1,0 +1,96 @@
+// Package lscan implements the LScan baseline from the paper's
+// evaluation: a linear scan that examines a fixed random fraction of
+// the dataset (default 70%) and returns the exact top-k among the
+// points it saw. It provides the floor any indexing method must beat.
+package lscan
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/vec"
+)
+
+// DefaultFraction is the portion of the dataset scanned per query
+// ("randomly selects a portion of points (default 70%)").
+const DefaultFraction = 0.7
+
+// Config controls the scanner.
+type Config struct {
+	// Fraction of the dataset scanned per query, in (0, 1]. 0 means
+	// DefaultFraction.
+	Fraction float64
+	// Seed fixes the scan order.
+	Seed int64
+}
+
+// Result is one returned neighbor.
+type Result struct {
+	ID   int32
+	Dist float64
+}
+
+// Scanner scans a fixed prefix of a seeded random permutation.
+type Scanner struct {
+	data  [][]float64
+	order []int32
+	limit int
+	dim   int
+}
+
+// New builds a scanner over data; data is retained, not copied.
+func New(data [][]float64, cfg Config) (*Scanner, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("lscan: New requires a non-empty dataset")
+	}
+	if cfg.Fraction == 0 {
+		cfg.Fraction = DefaultFraction
+	}
+	if cfg.Fraction <= 0 || cfg.Fraction > 1 {
+		return nil, fmt.Errorf("lscan: Fraction must be in (0,1], got %v", cfg.Fraction)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int32, len(data))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	limit := int(cfg.Fraction * float64(len(data)))
+	if limit < 1 {
+		limit = 1
+	}
+	return &Scanner{data: data, order: order, limit: limit, dim: len(data[0])}, nil
+}
+
+// Len returns the dataset cardinality.
+func (s *Scanner) Len() int { return len(s.data) }
+
+// Scanned returns how many points each query examines.
+func (s *Scanner) Scanned() int { return s.limit }
+
+// KNN returns the exact k nearest among the scanned subset, sorted by
+// distance.
+func (s *Scanner) KNN(q []float64, k int) ([]Result, error) {
+	if len(q) != s.dim {
+		return nil, fmt.Errorf("lscan: query has dimension %d, scanner expects %d", len(q), s.dim)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("lscan: k must be positive, got %d", k)
+	}
+	out := make([]Result, 0, k+1)
+	for _, id := range s.order[:s.limit] {
+		d := vec.L2(q, s.data[id])
+		if len(out) == k && d >= out[k-1].Dist {
+			continue
+		}
+		i := sort.Search(len(out), func(i int) bool { return out[i].Dist > d })
+		out = append(out, Result{})
+		copy(out[i+1:], out[i:])
+		out[i] = Result{ID: id, Dist: d}
+		if len(out) > k {
+			out = out[:k]
+		}
+	}
+	return out, nil
+}

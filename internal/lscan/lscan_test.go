@@ -1,0 +1,154 @@
+package lscan
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func randData(n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.NormFloat64() * 10
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	data := randData(10, 3, 1)
+	if _, err := New(data, Config{Fraction: 1.5}); err == nil {
+		t.Error("fraction > 1 should fail")
+	}
+	if _, err := New(data, Config{Fraction: -0.2}); err == nil {
+		t.Error("negative fraction should fail")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	data := randData(100, 4, 2)
+	s, err := New(data, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scanned() != 70 {
+		t.Errorf("Scanned = %d, want 70", s.Scanned())
+	}
+	if s.Len() != 100 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestFullFractionIsExact(t *testing.T) {
+	data := randData(300, 6, 3)
+	s, _ := New(data, Config{Fraction: 1.0})
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		q := make([]float64, 6)
+		for j := range q {
+			q[j] = rng.NormFloat64() * 10
+		}
+		got, err := s.KNN(q, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type pair struct {
+			id int32
+			d  float64
+		}
+		all := make([]pair, len(data))
+		for i, p := range data {
+			all[i] = pair{int32(i), vec.L2(q, p)}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+		for i := range got {
+			if math.Abs(got[i].Dist-all[i].d) > 1e-12 {
+				t.Fatalf("full scan not exact at %d: %v vs %v", i, got[i].Dist, all[i].d)
+			}
+		}
+	}
+}
+
+func TestPartialFractionMissesSometimes(t *testing.T) {
+	// With 50% scanned, roughly half of all exact NNs are unreachable;
+	// over many queries we must observe at least one miss.
+	data := randData(500, 8, 5)
+	s, _ := New(data, Config{Fraction: 0.5, Seed: 1})
+	misses := 0
+	for i := 0; i < 40; i++ {
+		res, err := s.KNN(data[i], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) == 0 || res[0].Dist != 0 {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Error("50% scan never missed a self-query — scan limit not applied?")
+	}
+	if misses > 35 {
+		t.Errorf("%d/40 misses — far above the expected ~50%%", misses)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	data := randData(20, 3, 6)
+	s, _ := New(data, Config{})
+	if _, err := s.KNN([]float64{1}, 3); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+	if _, err := s.KNN(data[0], 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestResultsSortedAndCapped(t *testing.T) {
+	data := randData(100, 5, 7)
+	s, _ := New(data, Config{})
+	q := make([]float64, 5)
+	res, err := s.KNN(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist {
+			t.Fatal("unsorted")
+		}
+	}
+	// k larger than scanned subset.
+	res, err = s.KNN(q, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != s.Scanned() {
+		t.Errorf("got %d, want %d", len(res), s.Scanned())
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	data := randData(200, 4, 8)
+	s1, _ := New(data, Config{Seed: 5, Fraction: 0.3})
+	s2, _ := New(data, Config{Seed: 5, Fraction: 0.3})
+	q := make([]float64, 4)
+	r1, _ := s1.KNN(q, 5)
+	r2, _ := s2.KNN(q, 5)
+	for i := range r1 {
+		if r1[i].ID != r2[i].ID {
+			t.Fatal("same seed must give identical scans")
+		}
+	}
+}

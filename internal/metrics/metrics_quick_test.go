@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any random result set evaluated against any random
+// truth set, recall lies in [0,1] and the overall ratio is >= 1
+// whenever the result is (as the algorithms guarantee) a sorted subset
+// of the dataset evaluated against the true top-k of the same dataset.
+func TestMetricsBoundsQuick(t *testing.T) {
+	f := func(seed int64, ku, nu uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nu%50) + 10
+		k := int(ku%10) + 1
+		// A synthetic 1-d dataset: distances are the values themselves.
+		dists := make([]float64, n)
+		for i := range dists {
+			dists[i] = rng.Float64() * 100
+		}
+		sorted := append([]float64(nil), dists...)
+		sort.Float64s(sorted)
+		truth := make([]Neighbor, k)
+		for i := 0; i < k; i++ {
+			truth[i] = Neighbor{ID: int32(i), Dist: sorted[i]}
+		}
+		// Result: k random distinct points, sorted by distance.
+		perm := rng.Perm(n)[:k]
+		res := make([]Neighbor, k)
+		for i, idx := range perm {
+			res[i] = Neighbor{ID: int32(idx + 1000), Dist: dists[idx]}
+		}
+		sort.Slice(res, func(i, j int) bool { return res[i].Dist < res[j].Dist })
+
+		rec, err := Recall(res, truth)
+		if err != nil || rec < 0 || rec > 1 {
+			return false
+		}
+		rat, err := OverallRatio(res, truth)
+		if err != nil {
+			return false
+		}
+		// Per-rank: result's i-th distance >= truth's i-th (truth is the
+		// true minimum), so the ratio cannot fall below 1. Zero exact
+		// distances are skipped by OverallRatio.
+		return math.IsInf(rat, 1) || rat >= 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: recall is monotone — adding a correct result never lowers
+// it.
+func TestRecallMonotoneQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(8) + 2
+		truth := make([]Neighbor, k)
+		for i := range truth {
+			truth[i] = Neighbor{ID: int32(i), Dist: float64(i + 1)}
+		}
+		// Partial result missing the last truth entry.
+		partial := append([]Neighbor(nil), truth[:k-1]...)
+		r1, err1 := Recall(partial, truth)
+		full := append(append([]Neighbor(nil), partial...), truth[k-1])
+		r2, err2 := Recall(full, truth)
+		return err1 == nil && err2 == nil && r2 >= r1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a result identical to the truth always scores perfectly.
+func TestPerfectResultQuick(t *testing.T) {
+	f := func(seed int64, ku uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(ku%12) + 1
+		truth := make([]Neighbor, k)
+		d := 0.0
+		for i := range truth {
+			d += rng.Float64() + 0.01
+			truth[i] = Neighbor{ID: int32(rng.Intn(10000)), Dist: d}
+		}
+		rec, err1 := Recall(truth, truth)
+		rat, err2 := OverallRatio(truth, truth)
+		return err1 == nil && err2 == nil && rec == 1 && math.Abs(rat-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,300 @@
+package multiprobe
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/lsh"
+	"repro/internal/vec"
+)
+
+func clusteredData(n, d, clusters int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, clusters)
+	for i := range centers {
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = rng.NormFloat64() * 20
+		}
+		centers[i] = c
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		c := centers[rng.Intn(clusters)]
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = c[j] + rng.NormFloat64()*2
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Config{}); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	data := clusteredData(20, 4, 2, 1)
+	if _, err := Build(data, Config{L: -1}); err == nil {
+		t.Error("negative L should fail")
+	}
+	if _, err := Build(data, Config{W: -3}); err == nil {
+		t.Error("negative W should fail")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	data := clusteredData(100, 8, 3, 2)
+	ix, err := Build(data, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.cfg.L != DefaultTables || ix.cfg.M != DefaultHashesPerTable || ix.cfg.Probes != DefaultProbes {
+		t.Errorf("defaults not applied: %+v", ix.cfg)
+	}
+	if ix.W() <= 0 {
+		t.Errorf("auto width %v", ix.W())
+	}
+	if ix.Len() != 100 || ix.Dim() != 8 {
+		t.Errorf("Len/Dim: %d %d", ix.Len(), ix.Dim())
+	}
+}
+
+func TestKNNValidation(t *testing.T) {
+	data := clusteredData(50, 6, 2, 3)
+	ix, _ := Build(data, Config{Seed: 2})
+	if _, err := ix.KNN([]float64{1}, 5); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+	if _, err := ix.KNN(data[0], 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestKNNFindsSelf(t *testing.T) {
+	data := clusteredData(500, 12, 5, 4)
+	ix, _ := Build(data, Config{Seed: 3})
+	for i := 0; i < 10; i++ {
+		res, err := ix.KNN(data[i*31], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) < 1 || res[0].Dist != 0 {
+			t.Errorf("query %d: %+v", i, res)
+		}
+	}
+}
+
+func TestKNNQuality(t *testing.T) {
+	data := clusteredData(2000, 24, 10, 5)
+	ix, _ := Build(data, Config{Seed: 4})
+	rng := rand.New(rand.NewSource(6))
+	const k, queries = 10, 20
+	var recallSum float64
+	for qi := 0; qi < queries; qi++ {
+		q := vec.Clone(data[rng.Intn(len(data))])
+		for j := range q {
+			q[j] += rng.NormFloat64() * 0.5
+		}
+		got, err := ix.KNN(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type pair struct {
+			id int32
+			d  float64
+		}
+		all := make([]pair, len(data))
+		for i, p := range data {
+			all[i] = pair{int32(i), vec.L2(q, p)}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+		ids := make(map[int32]bool)
+		for _, e := range all[:k] {
+			ids[e.id] = true
+		}
+		hit := 0
+		for _, g := range got {
+			if ids[g.ID] {
+				hit++
+			}
+		}
+		recallSum += float64(hit) / k
+	}
+	if recall := recallSum / queries; recall < 0.6 {
+		t.Errorf("mean recall %v below 0.6", recall)
+	}
+}
+
+func TestMoreProbesImproveRecall(t *testing.T) {
+	// The defining behavior of Multi-Probe: recall grows with the
+	// probing budget at fixed table count.
+	data := clusteredData(1500, 16, 8, 7)
+	rng := rand.New(rand.NewSource(8))
+	queries := make([][]float64, 15)
+	for i := range queries {
+		q := vec.Clone(data[rng.Intn(len(data))])
+		for j := range q {
+			q[j] += rng.NormFloat64() * 0.5
+		}
+		queries[i] = q
+	}
+	recallAt := func(probes int) float64 {
+		ix, err := Build(data, Config{Seed: 5, L: 4, Probes: probes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const k = 10
+		var sum float64
+		for _, q := range queries {
+			got, err := ix.KNN(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			type pair struct {
+				id int32
+				d  float64
+			}
+			all := make([]pair, len(data))
+			for i, p := range data {
+				all[i] = pair{int32(i), vec.L2(q, p)}
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+			ids := make(map[int32]bool)
+			for _, e := range all[:k] {
+				ids[e.id] = true
+			}
+			hit := 0
+			for _, g := range got {
+				if ids[g.ID] {
+					hit++
+				}
+			}
+			sum += float64(hit) / k
+		}
+		return sum / float64(len(queries))
+	}
+	low := recallAt(1)
+	high := recallAt(128)
+	if high < low {
+		t.Errorf("recall did not improve with probes: %v (1 probe) vs %v (128 probes)", low, high)
+	}
+	if high < 0.5 {
+		t.Errorf("recall at 128 probes only %v", high)
+	}
+}
+
+func TestProbeSequenceOrderAndValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := lsh.NewCompoundHash(6, 8, 4.0, rng)
+	q := make([]float64, 8)
+	for i := range q {
+		q[i] = rng.NormFloat64() * 3
+	}
+	seq := newProbeSequence(g, q)
+
+	// First probe is the home bucket.
+	d0, ok := seq.next()
+	if !ok || d0 != nil {
+		t.Fatalf("first probe should be home bucket, got %v", d0)
+	}
+
+	prevScore := -1.0
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		deltas, ok := seq.next()
+		if !ok {
+			break
+		}
+		var score float64
+		coords := make(map[int]bool)
+		key := ""
+		for _, b := range deltas {
+			score += b.score
+			if b.delta != -1 && b.delta != 1 {
+				t.Fatalf("delta %d invalid", b.delta)
+			}
+			if coords[b.coord] {
+				t.Fatal("coordinate perturbed twice in one set")
+			}
+			coords[b.coord] = true
+			key += string(rune('a'+b.coord)) + string(rune('0'+b.delta+1))
+		}
+		if score < prevScore-1e-9 {
+			t.Fatalf("scores not non-decreasing: %v after %v", score, prevScore)
+		}
+		prevScore = score
+		if seen[key] {
+			t.Fatalf("duplicate perturbation %q", key)
+		}
+		seen[key] = true
+	}
+	if len(seen) < 20 {
+		t.Errorf("sequence too short: %d perturbations", len(seen))
+	}
+}
+
+func TestResultsSortedUnique(t *testing.T) {
+	data := clusteredData(800, 10, 4, 10)
+	ix, _ := Build(data, Config{Seed: 6})
+	rng := rand.New(rand.NewSource(11))
+	for qi := 0; qi < 8; qi++ {
+		q := make([]float64, 10)
+		for j := range q {
+			q[j] = rng.NormFloat64() * 15
+		}
+		res, _, err := ix.KNNWithStats(q, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[int32]bool)
+		for i, r := range res {
+			if seen[r.ID] {
+				t.Fatal("duplicate result")
+			}
+			seen[r.ID] = true
+			if i > 0 && res[i].Dist < res[i-1].Dist {
+				t.Fatal("unsorted results")
+			}
+			if math.Abs(r.Dist-vec.L2(q, data[r.ID])) > 1e-9 {
+				t.Fatal("wrong distance")
+			}
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	data := clusteredData(500, 8, 4, 12)
+	ix, _ := Build(data, Config{Seed: 7, L: 3, Probes: 10})
+	_, st, err := ix.KNNWithStats(data[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BucketsProbed == 0 || st.BucketsProbed > 30 {
+		t.Errorf("BucketsProbed = %d, want in (0, 30]", st.BucketsProbed)
+	}
+	if st.Verified == 0 {
+		t.Error("no candidates verified")
+	}
+}
+
+func TestAutoWidthDuplicates(t *testing.T) {
+	// A dataset of identical points must not hang auto-width.
+	data := make([][]float64, 50)
+	for i := range data {
+		data[i] = []float64{1, 2, 3}
+	}
+	ix, err := Build(data, Config{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.KNN([]float64{1, 2, 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Errorf("got %d results", len(res))
+	}
+}

@@ -1,0 +1,317 @@
+// Package pmtree implements the PM-tree of Skopal, Pokorný and Snásel
+// (DASFAA 2005), the metric index PM-LSH builds in the projected space
+// (paper Section 4.1).
+//
+// A PM-tree is an M-tree whose regions are additionally intersected
+// with s "hyper-rings": for every subtree and every global pivot p_i,
+// the tree stores the interval HR[i] = [min, max] of distances between
+// p_i and the points below. A range query can then prune a subtree
+// whose ring does not intersect the query annulus, which shrinks the
+// effective region volume well below the M-tree's ball and is the
+// reason Table 2 of the paper shows 5–46 % fewer distance computations
+// than an R-tree on the same projected points.
+//
+// With s = 0 pivots the structure degrades gracefully to a plain
+// M-tree, which the parameter study of Fig. 6(a) exploits.
+//
+// The implementation is single-writer: Build and Insert must not be
+// called concurrently with queries. Queries themselves are read-only
+// but share the distance-computation counter, so concurrent queries
+// get a combined count.
+package pmtree
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/vec"
+)
+
+// DefaultCapacity is the paper's node capacity ("the maximum number of
+// entries per node to 16", Section 4.2).
+const DefaultCapacity = 16
+
+// Interval is a closed distance interval [Min, Max], one per pivot per
+// routing entry (the hyper-ring of the PM-tree).
+type Interval struct {
+	Min, Max float64
+}
+
+// contains reports whether x lies in the interval.
+func (iv Interval) contains(x float64) bool { return x >= iv.Min && x <= iv.Max }
+
+// extend grows the interval to include x.
+func (iv *Interval) extend(x float64) {
+	if x < iv.Min {
+		iv.Min = x
+	}
+	if x > iv.Max {
+		iv.Max = x
+	}
+}
+
+// union grows the interval to cover o.
+func (iv *Interval) union(o Interval) {
+	if o.Min < iv.Min {
+		iv.Min = o.Min
+	}
+	if o.Max > iv.Max {
+		iv.Max = o.Max
+	}
+}
+
+// emptyInterval is the identity for union/extend.
+func emptyInterval() Interval {
+	return Interval{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// routingEntry describes a subtree: the paper's inner-node entry with
+// covered radius e.r, child pointer e.ptr, routing object e.RO, parent
+// distance e.PD and hyper-rings e.HR.
+type routingEntry struct {
+	center     []float64  // e.RO
+	radius     float64    // e.r
+	child      *node      // e.ptr
+	parentDist float64    // e.PD: distance from center to the parent's routing object
+	hr         []Interval // e.HR: one ring per pivot
+}
+
+// leafEntry stores one indexed point together with its precomputed
+// distances to the global pivots (the PM-tree leaf's PD array).
+type leafEntry struct {
+	point      []float64
+	id         int32
+	parentDist float64   // distance to the leaf node's routing object
+	pivotDist  []float64 // exact distances to the s pivots
+}
+
+type node struct {
+	leaf    bool
+	routing []routingEntry // when !leaf
+	entries []leafEntry    // when leaf
+}
+
+func (n *node) size() int {
+	if n.leaf {
+		return len(n.entries)
+	}
+	return len(n.routing)
+}
+
+// Tree is a PM-tree over m-dimensional float64 points.
+type Tree struct {
+	root     *node
+	pivots   [][]float64
+	capacity int
+	dim      int
+	count    int
+
+	// distCalcs counts every call to the metric; it feeds the cost-model
+	// validation (Table 2) and the per-query probing statistics. Atomic
+	// so concurrent read-only queries stay race-free (their counts are
+	// combined).
+	distCalcs atomic.Int64
+	// nodeAccesses counts nodes opened during queries (atomic, see
+	// distCalcs).
+	nodeAccesses atomic.Int64
+}
+
+// Config controls tree construction.
+type Config struct {
+	// Capacity is the maximum number of entries per node; values < 4
+	// are rejected (splits need at least two entries per side).
+	// 0 means DefaultCapacity.
+	Capacity int
+	// NumPivots is the number of global pivots s (the paper uses s=5).
+	// 0 is valid and yields a plain M-tree.
+	NumPivots int
+	// PivotSeed seeds the pivot-selection sampling.
+	PivotSeed int64
+}
+
+// New creates an empty tree for points of the given dimensionality.
+func New(dim int, cfg Config) (*Tree, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("pmtree: dimension must be positive, got %d", dim)
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.Capacity < 4 {
+		return nil, fmt.Errorf("pmtree: capacity must be >= 4, got %d", cfg.Capacity)
+	}
+	if cfg.NumPivots < 0 {
+		return nil, fmt.Errorf("pmtree: NumPivots must be >= 0, got %d", cfg.NumPivots)
+	}
+	return &Tree{
+		root:     &node{leaf: true},
+		capacity: cfg.Capacity,
+		dim:      dim,
+	}, nil
+}
+
+// Build constructs a tree over data. Pivots are selected from the data
+// by farthest-first traversal (maximum-separation heuristic; the paper
+// chooses pivots "with the aim of making the overall volume of the
+// corresponding PM-tree region the smallest") and then every point is
+// inserted. ids[i] is stored with data[i]; ids may be nil, in which
+// case the point's index is used.
+func Build(data [][]float64, ids []int32, cfg Config) (*Tree, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("pmtree: Build requires at least one point")
+	}
+	if ids != nil && len(ids) != len(data) {
+		return nil, fmt.Errorf("pmtree: got %d ids for %d points", len(ids), len(data))
+	}
+	t, err := New(len(data[0]), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NumPivots > 0 {
+		t.pivots = selectPivots(data, cfg.NumPivots, cfg.PivotSeed)
+	}
+	for i, p := range data {
+		id := int32(i)
+		if ids != nil {
+			id = ids[i]
+		}
+		if err := t.Insert(p, id); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.count }
+
+// Dim returns the dimensionality of indexed points.
+func (t *Tree) Dim() int { return t.dim }
+
+// NumPivots returns the number of global pivots s.
+func (t *Tree) NumPivots() int { return len(t.pivots) }
+
+// Pivots returns the pivot points (shared slices; do not mutate).
+func (t *Tree) Pivots() [][]float64 { return t.pivots }
+
+// DistanceComputations returns the number of metric evaluations since
+// the last ResetStats (inserts and queries both count).
+func (t *Tree) DistanceComputations() int64 { return t.distCalcs.Load() }
+
+// NodeAccesses returns the number of nodes opened by queries since the
+// last ResetStats.
+func (t *Tree) NodeAccesses() int64 { return t.nodeAccesses.Load() }
+
+// ResetStats zeroes the distance and node-access counters.
+func (t *Tree) ResetStats() { t.distCalcs.Store(0); t.nodeAccesses.Store(0) }
+
+func (t *Tree) dist(a, b []float64) float64 {
+	t.distCalcs.Add(1)
+	return vec.L2(a, b)
+}
+
+// pivotDistances returns d(p, pivot_i) for every pivot.
+func (t *Tree) pivotDistances(p []float64) []float64 {
+	if len(t.pivots) == 0 {
+		return nil
+	}
+	out := make([]float64, len(t.pivots))
+	for i, pv := range t.pivots {
+		out[i] = t.dist(p, pv)
+	}
+	return out
+}
+
+// Insert adds one point with the given id.
+func (t *Tree) Insert(p []float64, id int32) error {
+	if len(p) != t.dim {
+		return fmt.Errorf("pmtree: point has dimension %d, tree expects %d", len(p), t.dim)
+	}
+	pd := t.pivotDistances(p)
+	left, right := t.insert(t.root, nil, p, id, pd)
+	if right != nil {
+		// Root split: grow the tree by one level.
+		newRoot := &node{leaf: false, routing: []routingEntry{*left, *right}}
+		t.root = newRoot
+	}
+	t.count++
+	return nil
+}
+
+// insert descends recursively. parentCenter is the routing object of n
+// (nil at the root). On overflow it splits n and returns both halves as
+// routing entries with parentDist unset (the caller fixes them up);
+// otherwise it returns (nil, nil).
+func (t *Tree) insert(n *node, parentCenter []float64, p []float64, id int32, pd []float64) (*routingEntry, *routingEntry) {
+	if n.leaf {
+		parentDist := 0.0
+		if parentCenter != nil {
+			parentDist = t.dist(p, parentCenter)
+		}
+		n.entries = append(n.entries, leafEntry{point: p, id: id, parentDist: parentDist, pivotDist: pd})
+		if len(n.entries) > t.capacity {
+			return t.splitLeaf(n)
+		}
+		return nil, nil
+	}
+
+	// Choose the subtree: prefer entries that already cover p (min
+	// distance); otherwise minimum radius enlargement.
+	best := -1
+	bestDist := math.Inf(1)
+	covered := false
+	bestEnlarge := math.Inf(1)
+	dists := make([]float64, len(n.routing))
+	for i := range n.routing {
+		e := &n.routing[i]
+		d := t.dist(p, e.center)
+		dists[i] = d
+		if d <= e.radius {
+			if !covered || d < bestDist {
+				covered = true
+				best = i
+				bestDist = d
+			}
+		} else if !covered {
+			if enl := d - e.radius; enl < bestEnlarge {
+				bestEnlarge = enl
+				best = i
+				bestDist = d
+			}
+		}
+	}
+	chosen := &n.routing[best]
+	if dists[best] > chosen.radius {
+		chosen.radius = dists[best]
+	}
+	// Maintain the hyper-rings along the insertion path.
+	for i, d := range pd {
+		chosen.hr[i].extend(d)
+	}
+
+	left, right := t.insert(chosen.child, chosen.center, p, id, pd)
+	if right == nil {
+		return nil, nil
+	}
+	// The chosen child split: replace its entry with the left half and
+	// append the right half.
+	t.adoptEntry(left, parentCenter)
+	t.adoptEntry(right, parentCenter)
+	n.routing[best] = *left
+	n.routing = append(n.routing, *right)
+	if len(n.routing) > t.capacity {
+		return t.splitInner(n)
+	}
+	return nil, nil
+}
+
+// adoptEntry sets the parent distance of e relative to the node's
+// routing object.
+func (t *Tree) adoptEntry(e *routingEntry, parentCenter []float64) {
+	if parentCenter == nil {
+		e.parentDist = 0
+		return
+	}
+	e.parentDist = t.dist(e.center, parentCenter)
+}

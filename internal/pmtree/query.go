@@ -1,0 +1,270 @@
+package pmtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Result is one point returned by a query.
+type Result struct {
+	ID   int32
+	Dist float64
+}
+
+// RangeSearch returns every indexed point within distance r of q (the
+// paper's range(q, r)), sorted by distance. The traversal is
+// depth-first and applies, in order of increasing cost:
+//
+//  1. the hyper-ring filters (Eq. 5's ∧ terms) — the query's pivot
+//     distances are computed once per query;
+//  2. the M-tree parent-distance filter |d(q,par) − e.PD| > r + e.r;
+//  3. the ball test d(q, e.RO) > r + e.r.
+func (t *Tree) RangeSearch(q []float64, r float64) ([]Result, error) {
+	if len(q) != t.dim {
+		return nil, fmt.Errorf("pmtree: query has dimension %d, tree expects %d", len(q), t.dim)
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("pmtree: negative radius %v", r)
+	}
+	if t.count == 0 {
+		return nil, nil
+	}
+	qp := t.pivotDistances(q)
+	var out []Result
+	t.rangeNode(t.root, q, nil, 0, r, qp, &out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// ringPrune reports whether the hyper-rings exclude any point within
+// distance r of q: the subtree can be skipped when, for some pivot i,
+// d(q,p_i) − r > HR[i].max or d(q,p_i) + r < HR[i].min.
+func ringPrune(qp []float64, hr []Interval, r float64) bool {
+	for i, d := range qp {
+		if d-r > hr[i].Max || d+r < hr[i].Min {
+			return true
+		}
+	}
+	return false
+}
+
+// rangeNode recurses into n. qParentDist is d(q, routing object of n)
+// (0 and unused at the root, where parentKnown is false via parent ==
+// nil).
+func (t *Tree) rangeNode(n *node, q, parent []float64, qParentDist, r float64, qp []float64, out *[]Result) {
+	t.nodeAccesses.Add(1)
+	if n.leaf {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if parent != nil && math.Abs(qParentDist-e.parentDist) > r {
+				continue
+			}
+			skip := false
+			for k, d := range e.pivotDist {
+				if math.Abs(qp[k]-d) > r {
+					skip = true
+					break
+				}
+			}
+			if skip {
+				continue
+			}
+			if d := t.dist(q, e.point); d <= r {
+				*out = append(*out, Result{ID: e.id, Dist: d})
+			}
+		}
+		return
+	}
+	for i := range n.routing {
+		e := &n.routing[i]
+		if ringPrune(qp, e.hr, r) {
+			continue
+		}
+		if parent != nil && math.Abs(qParentDist-e.parentDist) > r+e.radius {
+			continue
+		}
+		d := t.dist(q, e.center)
+		if d > r+e.radius {
+			continue
+		}
+		t.rangeNode(e.child, q, e.center, d, r, qp, out)
+	}
+}
+
+// RangeCount returns only the number of points within r of q.
+func (t *Tree) RangeCount(q []float64, r float64) (int, error) {
+	res, err := t.RangeSearch(q, r)
+	return len(res), err
+}
+
+// knnItem is a priority-queue element for best-first kNN: either a node
+// (with optimistic bound dmin) or a concrete point.
+type knnItem struct {
+	node  *node
+	isPt  bool
+	id    int32
+	point []float64 // routing object for nodes
+	bound float64   // dmin for nodes, exact distance for points
+}
+
+type knnQueue []knnItem
+
+func (h knnQueue) Len() int            { return len(h) }
+func (h knnQueue) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h knnQueue) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *knnQueue) Push(x interface{}) { *h = append(*h, x.(knnItem)) }
+func (h *knnQueue) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// KNNSearch returns the k nearest indexed points to q, sorted by
+// distance, using the Hjaltason–Samet best-first traversal with the
+// M-tree dmin bound max(0, d(q,RO) − r) sharpened by the hyper-ring
+// lower bound max_i(|d(q,p_i) − nearest ring edge|).
+func (t *Tree) KNNSearch(q []float64, k int) ([]Result, error) {
+	if len(q) != t.dim {
+		return nil, fmt.Errorf("pmtree: query has dimension %d, tree expects %d", len(q), t.dim)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("pmtree: k must be positive, got %d", k)
+	}
+	if t.count == 0 {
+		return nil, nil
+	}
+	qp := t.pivotDistances(q)
+
+	pq := &knnQueue{}
+	heap.Init(pq)
+	heap.Push(pq, knnItem{node: t.root, bound: 0})
+
+	var out []Result
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(knnItem)
+		if len(out) >= k && it.bound > (out)[len(out)-1].Dist {
+			break
+		}
+		if it.isPt {
+			out = insertResult(out, Result{ID: it.id, Dist: it.bound}, k)
+			continue
+		}
+		n := it.node
+		t.nodeAccesses.Add(1)
+		if n.leaf {
+			for i := range n.entries {
+				e := &n.entries[i]
+				// Pivot lower bound: d(q,o) >= |d(q,p_i) - d(o,p_i)|.
+				lb := 0.0
+				for kidx, pd := range e.pivotDist {
+					if b := math.Abs(qp[kidx] - pd); b > lb {
+						lb = b
+					}
+				}
+				if len(out) >= k && lb > out[len(out)-1].Dist {
+					continue
+				}
+				d := t.dist(q, e.point)
+				if len(out) < k || d < out[len(out)-1].Dist {
+					heap.Push(pq, knnItem{isPt: true, id: e.id, bound: d})
+				}
+			}
+			continue
+		}
+		for i := range n.routing {
+			e := &n.routing[i]
+			d := t.dist(q, e.center)
+			dmin := d - e.radius
+			if dmin < 0 {
+				dmin = 0
+			}
+			for kidx := range e.hr {
+				var rb float64
+				switch {
+				case qp[kidx] < e.hr[kidx].Min:
+					rb = e.hr[kidx].Min - qp[kidx]
+				case qp[kidx] > e.hr[kidx].Max:
+					rb = qp[kidx] - e.hr[kidx].Max
+				}
+				if rb > dmin {
+					dmin = rb
+				}
+			}
+			if len(out) >= k && dmin > out[len(out)-1].Dist {
+				continue
+			}
+			heap.Push(pq, knnItem{node: e.child, point: e.center, bound: dmin})
+		}
+	}
+	return out, nil
+}
+
+// insertResult keeps out sorted ascending and capped at k.
+func insertResult(out []Result, r Result, k int) []Result {
+	i := sort.Search(len(out), func(i int) bool { return out[i].Dist > r.Dist })
+	out = append(out, Result{})
+	copy(out[i+1:], out[i:])
+	out[i] = r
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// NodeInfo is the per-node summary exposed to the cost model of
+// Section 4.2: the routing entry's geometry plus the fan-out N(e).
+type NodeInfo struct {
+	Radius     float64
+	HR         []Interval
+	NumEntries int
+	Leaf       bool
+	Depth      int
+	Center     []float64
+}
+
+// Walk calls fn for every node in the tree (including the root, whose
+// Radius/HR describe the union of its children as the cost model needs
+// no root term: the root is always accessed).
+func (t *Tree) Walk(fn func(NodeInfo)) {
+	if t.count == 0 {
+		return
+	}
+	// Synthesize a routing entry for the root covering everything.
+	rootHR := make([]Interval, len(t.pivots))
+	for i := range rootHR {
+		rootHR[i] = emptyInterval()
+	}
+	rootRadius := math.Inf(1)
+	t.walkNode(t.root, rootRadius, rootHR, nil, 0, fn)
+}
+
+func (t *Tree) walkNode(n *node, radius float64, hr []Interval, center []float64, depth int, fn func(NodeInfo)) {
+	fn(NodeInfo{Radius: radius, HR: hr, NumEntries: n.size(), Leaf: n.leaf, Depth: depth, Center: center})
+	if n.leaf {
+		return
+	}
+	for i := range n.routing {
+		e := &n.routing[i]
+		t.walkNode(e.child, e.radius, e.hr, e.center, depth+1, fn)
+	}
+}
+
+// Height returns the number of levels (1 for a root-only tree).
+func (t *Tree) Height() int {
+	h := 1
+	n := t.root
+	for !n.leaf {
+		h++
+		n = n.routing[0].child
+	}
+	return h
+}

@@ -1,0 +1,258 @@
+package pmtree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary serialization of the tree structure. The format is
+// little-endian and versioned:
+//
+//	magic "PMT1" | dim u32 | capacity u32 | count u32 | pivots u32
+//	pivot points (pivots × dim f64)
+//	recursive node encoding:
+//	  leaf flag u8 | entry count u32
+//	  leaf entry:    id i32 | point dim×f64 | parentDist f64 | pivotDist s×f64
+//	  routing entry: center dim×f64 | radius f64 | parentDist f64 |
+//	                 hr s×{min,max} f64 | child node
+//
+// Loading a stream reproduces the exact tree (same splits, same
+// counters at zero), so a saved index answers queries identically.
+
+var pmtMagic = [4]byte{'P', 'M', 'T', '1'}
+
+// WriteTo serializes the tree. It implements io.WriterTo.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	if err := t.encode(cw); err != nil {
+		return cw.n, err
+	}
+	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
+		return cw.n, fmt.Errorf("pmtree: flush: %w", err)
+	}
+	return cw.n, nil
+}
+
+func (t *Tree) encode(w io.Writer) error {
+	if _, err := w.Write(pmtMagic[:]); err != nil {
+		return fmt.Errorf("pmtree: write magic: %w", err)
+	}
+	hdr := []uint32{uint32(t.dim), uint32(t.capacity), uint32(t.count), uint32(len(t.pivots))}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("pmtree: write header: %w", err)
+	}
+	for _, p := range t.pivots {
+		if err := writeFloats(w, p); err != nil {
+			return err
+		}
+	}
+	return t.encodeNode(w, t.root)
+}
+
+func (t *Tree) encodeNode(w io.Writer, n *node) error {
+	flag := byte(0)
+	if n.leaf {
+		flag = 1
+	}
+	if _, err := w.Write([]byte{flag}); err != nil {
+		return fmt.Errorf("pmtree: write node flag: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(n.size())); err != nil {
+		return fmt.Errorf("pmtree: write entry count: %w", err)
+	}
+	if n.leaf {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if err := binary.Write(w, binary.LittleEndian, e.id); err != nil {
+				return fmt.Errorf("pmtree: write id: %w", err)
+			}
+			if err := writeFloats(w, e.point); err != nil {
+				return err
+			}
+			if err := writeFloats(w, []float64{e.parentDist}); err != nil {
+				return err
+			}
+			if err := writeFloats(w, e.pivotDist); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := range n.routing {
+		e := &n.routing[i]
+		if err := writeFloats(w, e.center); err != nil {
+			return err
+		}
+		if err := writeFloats(w, []float64{e.radius, e.parentDist}); err != nil {
+			return err
+		}
+		for _, iv := range e.hr {
+			if err := writeFloats(w, []float64{iv.Min, iv.Max}); err != nil {
+				return err
+			}
+		}
+		if err := t.encodeNode(w, e.child); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read deserializes a tree previously written with WriteTo.
+func Read(r io.Reader) (*Tree, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("pmtree: read magic: %w", err)
+	}
+	if magic != pmtMagic {
+		return nil, fmt.Errorf("pmtree: bad magic %q", magic)
+	}
+	hdr := make([]uint32, 4)
+	if err := binary.Read(br, binary.LittleEndian, hdr); err != nil {
+		return nil, fmt.Errorf("pmtree: read header: %w", err)
+	}
+	dim, capacity, count, numPivots := int(hdr[0]), int(hdr[1]), int(hdr[2]), int(hdr[3])
+	if dim < 1 || capacity < 4 || numPivots < 0 || count < 0 {
+		return nil, fmt.Errorf("pmtree: corrupt header dim=%d cap=%d count=%d pivots=%d",
+			dim, capacity, count, numPivots)
+	}
+	t := &Tree{dim: dim, capacity: capacity, count: count}
+	t.pivots = make([][]float64, numPivots)
+	for i := range t.pivots {
+		p, err := readFloats(br, dim)
+		if err != nil {
+			return nil, err
+		}
+		t.pivots[i] = p
+	}
+	root, err := t.decodeNode(br, numPivots)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	// Verify the advertised count against the leaves.
+	got := 0
+	t.Walk(func(info NodeInfo) {
+		if info.Leaf {
+			got += info.NumEntries
+		}
+	})
+	if got != count {
+		return nil, fmt.Errorf("pmtree: header count %d but leaves hold %d points", count, got)
+	}
+	return t, nil
+}
+
+func (t *Tree) decodeNode(r io.Reader, numPivots int) (*node, error) {
+	var flag [1]byte
+	if _, err := io.ReadFull(r, flag[:]); err != nil {
+		return nil, fmt.Errorf("pmtree: read node flag: %w", err)
+	}
+	if flag[0] > 1 {
+		return nil, fmt.Errorf("pmtree: corrupt node flag %d", flag[0])
+	}
+	var cnt uint32
+	if err := binary.Read(r, binary.LittleEndian, &cnt); err != nil {
+		return nil, fmt.Errorf("pmtree: read entry count: %w", err)
+	}
+	if int(cnt) > t.capacity || cnt == 0 {
+		return nil, fmt.Errorf("pmtree: corrupt entry count %d (capacity %d)", cnt, t.capacity)
+	}
+	n := &node{leaf: flag[0] == 1}
+	if n.leaf {
+		n.entries = make([]leafEntry, cnt)
+		for i := range n.entries {
+			e := &n.entries[i]
+			if err := binary.Read(r, binary.LittleEndian, &e.id); err != nil {
+				return nil, fmt.Errorf("pmtree: read id: %w", err)
+			}
+			p, err := readFloats(r, t.dim)
+			if err != nil {
+				return nil, err
+			}
+			e.point = p
+			pd, err := readFloats(r, 1)
+			if err != nil {
+				return nil, err
+			}
+			e.parentDist = pd[0]
+			if numPivots > 0 {
+				e.pivotDist, err = readFloats(r, numPivots)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if !validFinite(e.point) || math.IsNaN(e.parentDist) {
+				return nil, fmt.Errorf("pmtree: corrupt leaf entry %d", e.id)
+			}
+		}
+		return n, nil
+	}
+	n.routing = make([]routingEntry, cnt)
+	for i := range n.routing {
+		e := &n.routing[i]
+		c, err := readFloats(r, t.dim)
+		if err != nil {
+			return nil, err
+		}
+		e.center = c
+		rp, err := readFloats(r, 2)
+		if err != nil {
+			return nil, err
+		}
+		e.radius, e.parentDist = rp[0], rp[1]
+		e.hr = make([]Interval, numPivots)
+		for k := range e.hr {
+			mm, err := readFloats(r, 2)
+			if err != nil {
+				return nil, err
+			}
+			e.hr[k] = Interval{Min: mm[0], Max: mm[1]}
+		}
+		child, err := t.decodeNode(r, numPivots)
+		if err != nil {
+			return nil, err
+		}
+		e.child = child
+	}
+	return n, nil
+}
+
+func writeFloats(w io.Writer, fs []float64) error {
+	if err := binary.Write(w, binary.LittleEndian, fs); err != nil {
+		return fmt.Errorf("pmtree: write floats: %w", err)
+	}
+	return nil
+}
+
+func readFloats(r io.Reader, n int) ([]float64, error) {
+	out := make([]float64, n)
+	if err := binary.Read(r, binary.LittleEndian, out); err != nil {
+		return nil, fmt.Errorf("pmtree: read floats: %w", err)
+	}
+	return out, nil
+}
+
+func validFinite(fs []float64) bool {
+	for _, f := range fs {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,130 @@
+package pmtree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	data := randData(700, 8, 51)
+	orig, err := Build(data, nil, Config{NumPivots: 4, Capacity: 8, PivotSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() || loaded.Dim() != orig.Dim() ||
+		loaded.NumPivots() != orig.NumPivots() || loaded.Height() != orig.Height() {
+		t.Fatalf("shape mismatch: %d/%d %d/%d %d/%d %d/%d",
+			loaded.Len(), orig.Len(), loaded.Dim(), orig.Dim(),
+			loaded.NumPivots(), orig.NumPivots(), loaded.Height(), orig.Height())
+	}
+
+	// Identical query answers on both trees.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		q := make([]float64, 8)
+		for j := range q {
+			q[j] = rng.NormFloat64() * 10
+		}
+		r := rng.Float64() * 20
+		a, err := orig.RangeSearch(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.RangeSearch(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResults(a, b) {
+			t.Fatalf("trial %d: range results differ (%d vs %d)", trial, len(a), len(b))
+		}
+		ka, _ := orig.KNNSearch(q, 7)
+		kb, _ := loaded.KNNSearch(q, 7)
+		if len(ka) != len(kb) {
+			t.Fatalf("kNN result counts differ")
+		}
+		for i := range ka {
+			if ka[i].Dist != kb[i].Dist {
+				t.Fatalf("kNN distances differ at %d", i)
+			}
+		}
+	}
+
+	// The loaded tree accepts further inserts.
+	if err := loaded.Insert(make([]float64, 8), 9999); err != nil {
+		t.Fatal(err)
+	}
+	res, err := loaded.RangeSearch(make([]float64, 8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, x := range res {
+		if x.ID == 9999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("insert after load not found")
+	}
+}
+
+func TestSerializeZeroPivots(t *testing.T) {
+	data := randData(100, 5, 52)
+	orig, _ := Build(data, nil, Config{NumPivots: 0})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumPivots() != 0 || loaded.Len() != 100 {
+		t.Errorf("loaded: pivots=%d len=%d", loaded.NumPivots(), loaded.Len())
+	}
+}
+
+func TestReadRejectsCorruptInput(t *testing.T) {
+	data := randData(60, 4, 53)
+	orig, _ := Build(data, nil, Config{NumPivots: 2})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), raw...)
+	bad[0] = 'X'
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated stream.
+	if _, err := Read(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Empty stream.
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Corrupt header count.
+	bad2 := append([]byte(nil), raw...)
+	bad2[12]++ // count field low byte
+	if _, err := Read(bytes.NewReader(bad2)); err == nil {
+		t.Error("corrupt count accepted")
+	}
+}

@@ -1,0 +1,517 @@
+// Package rtree implements an in-memory R-tree over low-dimensional
+// points (the m≈15-dimensional projected space), the index SRS uses and
+// the structure PM-LSH is compared against in Table 2 and the R-LSH
+// ablation of the paper.
+//
+// The tree uses Guttman's quadratic split. Queries are ball range
+// searches (range(q, r) in Euclidean distance) and best-first
+// incremental nearest-neighbor traversal (Hjaltason–Samet), which is
+// exactly the incSearch primitive SRS builds on.
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/vec"
+)
+
+// DefaultCapacity matches the PM-tree comparison setup in the paper
+// ("set the maximum number of entries per node to 16").
+const DefaultCapacity = 16
+
+// Rect is an axis-aligned minimum bounding rectangle.
+type Rect struct {
+	Lo, Hi []float64
+}
+
+// NewRect returns the degenerate rectangle covering a single point.
+func NewRect(p []float64) Rect {
+	return Rect{Lo: vec.Clone(p), Hi: vec.Clone(p)}
+}
+
+// extend grows r to cover o.
+func (r *Rect) extend(o Rect) {
+	for i := range r.Lo {
+		if o.Lo[i] < r.Lo[i] {
+			r.Lo[i] = o.Lo[i]
+		}
+		if o.Hi[i] > r.Hi[i] {
+			r.Hi[i] = o.Hi[i]
+		}
+	}
+}
+
+// extendPoint grows r to cover p.
+func (r *Rect) extendPoint(p []float64) {
+	for i := range r.Lo {
+		if p[i] < r.Lo[i] {
+			r.Lo[i] = p[i]
+		}
+		if p[i] > r.Hi[i] {
+			r.Hi[i] = p[i]
+		}
+	}
+}
+
+// Volume returns the rectangle's volume (product of side lengths).
+func (r Rect) Volume() float64 {
+	v := 1.0
+	for i := range r.Lo {
+		v *= r.Hi[i] - r.Lo[i]
+	}
+	return v
+}
+
+// margin returns the sum of side lengths (used as a tie-breaker).
+func (r Rect) margin() float64 {
+	var s float64
+	for i := range r.Lo {
+		s += r.Hi[i] - r.Lo[i]
+	}
+	return s
+}
+
+// enlargement returns the volume increase needed for r to cover o.
+func (r Rect) enlargement(o Rect) float64 {
+	u := Rect{Lo: vec.Clone(r.Lo), Hi: vec.Clone(r.Hi)}
+	u.extend(o)
+	return u.Volume() - r.Volume()
+}
+
+// MinDistSq returns the squared distance from q to the nearest point of
+// the rectangle (0 when q is inside).
+func (r Rect) MinDistSq(q []float64) float64 {
+	var s float64
+	for i, v := range q {
+		if v < r.Lo[i] {
+			d := r.Lo[i] - v
+			s += d * d
+		} else if v > r.Hi[i] {
+			d := v - r.Hi[i]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// Contains reports whether p lies inside the rectangle (inclusive).
+func (r Rect) Contains(p []float64) bool {
+	for i, v := range p {
+		if v < r.Lo[i] || v > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type entry struct {
+	rect  Rect
+	child *node     // non-nil for inner entries
+	point []float64 // non-nil for leaf entries
+	id    int32
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// Tree is an in-memory R-tree.
+type Tree struct {
+	root     *node
+	capacity int
+	dim      int
+	count    int
+
+	// Atomic so concurrent read-only queries stay race-free (their
+	// counts are combined).
+	distCalcs    atomic.Int64
+	nodeAccesses atomic.Int64
+}
+
+// Config controls tree construction.
+type Config struct {
+	// Capacity is the maximum entries per node (0 = DefaultCapacity,
+	// minimum 4).
+	Capacity int
+}
+
+// New creates an empty R-tree for points of the given dimensionality.
+func New(dim int, cfg Config) (*Tree, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("rtree: dimension must be positive, got %d", dim)
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.Capacity < 4 {
+		return nil, fmt.Errorf("rtree: capacity must be >= 4, got %d", cfg.Capacity)
+	}
+	return &Tree{root: &node{leaf: true}, capacity: cfg.Capacity, dim: dim}, nil
+}
+
+// Build creates a tree over data; ids may be nil (indices are used).
+func Build(data [][]float64, ids []int32, cfg Config) (*Tree, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("rtree: Build requires at least one point")
+	}
+	if ids != nil && len(ids) != len(data) {
+		return nil, fmt.Errorf("rtree: got %d ids for %d points", len(ids), len(data))
+	}
+	t, err := New(len(data[0]), cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range data {
+		id := int32(i)
+		if ids != nil {
+			id = ids[i]
+		}
+		if err := t.Insert(p, id); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.count }
+
+// Dim returns the point dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// DistanceComputations returns the point-distance counter.
+func (t *Tree) DistanceComputations() int64 { return t.distCalcs.Load() }
+
+// NodeAccesses returns the node-access counter.
+func (t *Tree) NodeAccesses() int64 { return t.nodeAccesses.Load() }
+
+// ResetStats zeroes both counters.
+func (t *Tree) ResetStats() { t.distCalcs.Store(0); t.nodeAccesses.Store(0) }
+
+// Insert adds a point with the given id.
+func (t *Tree) Insert(p []float64, id int32) error {
+	if len(p) != t.dim {
+		return fmt.Errorf("rtree: point has dimension %d, tree expects %d", len(p), t.dim)
+	}
+	left, right := t.insert(t.root, p, id)
+	if right != nil {
+		t.root = &node{leaf: false, entries: []entry{*left, *right}}
+	}
+	t.count++
+	return nil
+}
+
+func (t *Tree) insert(n *node, p []float64, id int32) (*entry, *entry) {
+	if n.leaf {
+		n.entries = append(n.entries, entry{rect: NewRect(p), point: p, id: id})
+		if len(n.entries) > t.capacity {
+			return t.split(n)
+		}
+		return nil, nil
+	}
+	// ChooseLeaf: least enlargement, ties by smallest volume.
+	pr := NewRect(p)
+	best := 0
+	bestEnl := math.Inf(1)
+	bestVol := math.Inf(1)
+	for i := range n.entries {
+		enl := n.entries[i].rect.enlargement(pr)
+		vol := n.entries[i].rect.Volume()
+		if enl < bestEnl || (enl == bestEnl && vol < bestVol) {
+			best, bestEnl, bestVol = i, enl, vol
+		}
+	}
+	n.entries[best].rect.extendPoint(p)
+	left, right := t.insert(n.entries[best].child, p, id)
+	if right == nil {
+		return nil, nil
+	}
+	n.entries[best] = *left
+	n.entries = append(n.entries, *right)
+	if len(n.entries) > t.capacity {
+		return t.split(n)
+	}
+	return nil, nil
+}
+
+// split performs Guttman's quadratic split on an overflowing node.
+func (t *Tree) split(n *node) (*entry, *entry) {
+	es := n.entries
+	// PickSeeds: the pair wasting the most volume.
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(es); i++ {
+		for j := i + 1; j < len(es); j++ {
+			u := Rect{Lo: vec.Clone(es[i].rect.Lo), Hi: vec.Clone(es[i].rect.Hi)}
+			u.extend(es[j].rect)
+			waste := u.Volume() - es[i].rect.Volume() - es[j].rect.Volume()
+			if waste > worst {
+				worst = waste
+				s1, s2 = i, j
+			}
+		}
+	}
+	g1 := []entry{es[s1]}
+	g2 := []entry{es[s2]}
+	r1 := Rect{Lo: vec.Clone(es[s1].rect.Lo), Hi: vec.Clone(es[s1].rect.Hi)}
+	r2 := Rect{Lo: vec.Clone(es[s2].rect.Lo), Hi: vec.Clone(es[s2].rect.Hi)}
+
+	rest := make([]entry, 0, len(es)-2)
+	for i := range es {
+		if i != s1 && i != s2 {
+			rest = append(rest, es[i])
+		}
+	}
+	minFill := (t.capacity + 1) / 2
+	for len(rest) > 0 {
+		// Force assignment when one group must take all the rest.
+		if len(g1)+len(rest) == minFill {
+			for _, e := range rest {
+				g1 = append(g1, e)
+				r1.extend(e.rect)
+			}
+			break
+		}
+		if len(g2)+len(rest) == minFill {
+			for _, e := range rest {
+				g2 = append(g2, e)
+				r2.extend(e.rect)
+			}
+			break
+		}
+		// PickNext: entry with the greatest preference difference.
+		bestIdx, bestDiff := 0, -1.0
+		for i, e := range rest {
+			d1 := r1.enlargement(e.rect)
+			d2 := r2.enlargement(e.rect)
+			if diff := math.Abs(d1 - d2); diff > bestDiff {
+				bestDiff = diff
+				bestIdx = i
+			}
+		}
+		e := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		d1 := r1.enlargement(e.rect)
+		d2 := r2.enlargement(e.rect)
+		toFirst := d1 < d2 ||
+			(d1 == d2 && (r1.Volume() < r2.Volume() ||
+				(r1.Volume() == r2.Volume() && len(g1) <= len(g2))))
+		if toFirst {
+			g1 = append(g1, e)
+			r1.extend(e.rect)
+		} else {
+			g2 = append(g2, e)
+			r2.extend(e.rect)
+		}
+	}
+	left := &entry{rect: r1, child: &node{leaf: n.leaf, entries: g1}}
+	right := &entry{rect: r2, child: &node{leaf: n.leaf, entries: g2}}
+	return left, right
+}
+
+// Result is one point returned by a query.
+type Result struct {
+	ID   int32
+	Dist float64
+}
+
+// RangeSearch returns all points within Euclidean distance r of q,
+// sorted by distance.
+func (t *Tree) RangeSearch(q []float64, r float64) ([]Result, error) {
+	if len(q) != t.dim {
+		return nil, fmt.Errorf("rtree: query has dimension %d, tree expects %d", len(q), t.dim)
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("rtree: negative radius %v", r)
+	}
+	if t.count == 0 {
+		return nil, nil
+	}
+	var out []Result
+	r2 := r * r
+	t.rangeNode(t.root, q, r2, &out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+func (t *Tree) rangeNode(n *node, q []float64, r2 float64, out *[]Result) {
+	t.nodeAccesses.Add(1)
+	if n.leaf {
+		for i := range n.entries {
+			e := &n.entries[i]
+			t.distCalcs.Add(1)
+			if d2 := vec.SquaredL2(q, e.point); d2 <= r2 {
+				*out = append(*out, Result{ID: e.id, Dist: math.Sqrt(d2)})
+			}
+		}
+		return
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		// An inner-entry MBR test costs the same order of work as a
+		// point distance in the m-dimensional projected space; the
+		// node-based cost model (paper Eq. 9) charges every entry of an
+		// accessed node, so the counter does too.
+		t.distCalcs.Add(1)
+		if e.rect.MinDistSq(q) <= r2 {
+			t.rangeNode(e.child, q, r2, out)
+		}
+	}
+}
+
+// KNNSearch returns the k nearest points to q, sorted by distance.
+func (t *Tree) KNNSearch(q []float64, k int) ([]Result, error) {
+	if err := t.checkQuery(q, k); err != nil {
+		return nil, err
+	}
+	if t.count == 0 {
+		return nil, nil
+	}
+	it, err := t.NewIterator(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, k)
+	for len(out) < k {
+		id, d, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, Result{ID: id, Dist: d})
+	}
+	return out, nil
+}
+
+func (t *Tree) checkQuery(q []float64, k int) error {
+	if len(q) != t.dim {
+		return fmt.Errorf("rtree: query has dimension %d, tree expects %d", len(q), t.dim)
+	}
+	if k <= 0 {
+		return fmt.Errorf("rtree: k must be positive, got %d", k)
+	}
+	return nil
+}
+
+// Iterator yields points in increasing distance from a query — the
+// incSearch primitive of SRS (best-first traversal with a global
+// priority queue over nodes and points).
+type Iterator struct {
+	t  *Tree
+	q  []float64
+	pq incQueue
+}
+
+type incItem struct {
+	node   *node
+	isPt   bool
+	id     int32
+	point  []float64
+	distSq float64
+}
+
+type incQueue []incItem
+
+func (h incQueue) Len() int            { return len(h) }
+func (h incQueue) Less(i, j int) bool  { return h[i].distSq < h[j].distSq }
+func (h incQueue) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *incQueue) Push(x interface{}) { *h = append(*h, x.(incItem)) }
+func (h *incQueue) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewIterator starts an incremental nearest-neighbor traversal from q.
+func (t *Tree) NewIterator(q []float64) (*Iterator, error) {
+	if len(q) != t.dim {
+		return nil, fmt.Errorf("rtree: query has dimension %d, tree expects %d", len(q), t.dim)
+	}
+	it := &Iterator{t: t, q: q}
+	if t.count > 0 {
+		heap.Push(&it.pq, incItem{node: t.root})
+	}
+	return it, nil
+}
+
+// Next returns the next nearest point (id, distance). ok is false when
+// the tree is exhausted.
+func (it *Iterator) Next() (id int32, dist float64, ok bool) {
+	for it.pq.Len() > 0 {
+		item := heap.Pop(&it.pq).(incItem)
+		if item.isPt {
+			return item.id, math.Sqrt(item.distSq), true
+		}
+		it.t.nodeAccesses.Add(1)
+		n := item.node
+		if n.leaf {
+			for i := range n.entries {
+				e := &n.entries[i]
+				it.t.distCalcs.Add(1)
+				heap.Push(&it.pq, incItem{isPt: true, id: e.id, distSq: vec.SquaredL2(it.q, e.point)})
+			}
+			continue
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			heap.Push(&it.pq, incItem{node: e.child, distSq: e.rect.MinDistSq(it.q)})
+		}
+	}
+	return 0, 0, false
+}
+
+// NodeInfo summarizes one node for the cost model (Eq. 9): its MBR and
+// fan-out.
+type NodeInfo struct {
+	Rect       Rect
+	NumEntries int
+	Leaf       bool
+	Depth      int
+}
+
+// Walk visits every node.
+func (t *Tree) Walk(fn func(NodeInfo)) {
+	if t.count == 0 {
+		return
+	}
+	rootRect := NewRect(make([]float64, t.dim))
+	if len(t.root.entries) > 0 {
+		rootRect = Rect{Lo: vec.Clone(t.root.entries[0].rect.Lo), Hi: vec.Clone(t.root.entries[0].rect.Hi)}
+		for _, e := range t.root.entries[1:] {
+			rootRect.extend(e.rect)
+		}
+	}
+	t.walkNode(t.root, rootRect, 0, fn)
+}
+
+func (t *Tree) walkNode(n *node, rect Rect, depth int, fn func(NodeInfo)) {
+	fn(NodeInfo{Rect: rect, NumEntries: len(n.entries), Leaf: n.leaf, Depth: depth})
+	if n.leaf {
+		return
+	}
+	for i := range n.entries {
+		t.walkNode(n.entries[i].child, n.entries[i].rect, depth+1, fn)
+	}
+}
+
+// Height returns the number of levels.
+func (t *Tree) Height() int {
+	h := 1
+	n := t.root
+	for !n.leaf {
+		h++
+		n = n.entries[0].child
+	}
+	return h
+}

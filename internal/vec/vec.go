@@ -1,0 +1,169 @@
+// Package vec provides the low-level vector kernels used throughout the
+// PM-LSH reproduction: Euclidean and L1 distances, dot products, and a
+// few aggregate helpers.
+//
+// Points are plain []float64 slices. The hot kernels are written with
+// 4-way manual unrolling: Go has no portable SIMD story in the standard
+// toolchain, and unrolled scalar loops are the conventional substitute
+// (the compiler keeps the accumulators in registers and the bounds
+// checks are hoisted).
+package vec
+
+import "math"
+
+// Dot returns the inner product of a and b.
+// It panics if the lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("vec: dimension mismatch in Dot")
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// SquaredL2 returns the squared Euclidean distance between a and b.
+// It panics if the lengths differ.
+func SquaredL2(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("vec: dimension mismatch in SquaredL2")
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// L2 returns the Euclidean distance between a and b.
+func L2(a, b []float64) float64 {
+	return math.Sqrt(SquaredL2(a, b))
+}
+
+// L1 returns the Manhattan distance between a and b.
+// It panics if the lengths differ.
+func L1(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("vec: dimension mismatch in L1")
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Clone returns a fresh copy of a.
+func Clone(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// Add stores a+b in dst and returns dst. dst may alias a or b.
+// It panics if the lengths differ.
+func Add(dst, a, b []float64) []float64 {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("vec: dimension mismatch in Add")
+	}
+	for i := range a {
+		dst[i] = a[i] + b[i]
+	}
+	return dst
+}
+
+// Sub stores a-b in dst and returns dst. dst may alias a or b.
+// It panics if the lengths differ.
+func Sub(dst, a, b []float64) []float64 {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("vec: dimension mismatch in Sub")
+	}
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+	return dst
+}
+
+// Scale stores s*a in dst and returns dst. dst may alias a.
+func Scale(dst, a []float64, s float64) []float64 {
+	if len(dst) != len(a) {
+		panic("vec: dimension mismatch in Scale")
+	}
+	for i := range a {
+		dst[i] = s * a[i]
+	}
+	return dst
+}
+
+// Mean returns the component-wise mean of the given points.
+// It returns nil for an empty input.
+func Mean(points [][]float64) []float64 {
+	if len(points) == 0 {
+		return nil
+	}
+	out := make([]float64, len(points[0]))
+	for _, p := range points {
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+	inv := 1 / float64(len(points))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// MinMax returns per-dimension minima and maxima over points.
+// It returns (nil, nil) for an empty input.
+func MinMax(points [][]float64) (lo, hi []float64) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	d := len(points[0])
+	lo = Clone(points[0])
+	hi = Clone(points[0])
+	for _, p := range points[1:] {
+		for i := 0; i < d; i++ {
+			if p[i] < lo[i] {
+				lo[i] = p[i]
+			}
+			if p[i] > hi[i] {
+				hi[i] = p[i]
+			}
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,183 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDotBasic(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"empty", nil, nil, 0},
+		{"single", []float64{2}, []float64{3}, 6},
+		{"orthogonal", []float64{1, 0}, []float64{0, 1}, 0},
+		{"negative", []float64{1, -2, 3}, []float64{4, 5, -6}, 4 - 10 - 18},
+		{"len5 crosses unroll boundary", []float64{1, 1, 1, 1, 1}, []float64{1, 2, 3, 4, 5}, 15},
+		{"len8 exact unroll", []float64{1, 2, 3, 4, 5, 6, 7, 8}, []float64{8, 7, 6, 5, 4, 3, 2, 1}, 120},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Dot(tc.a, tc.b); !almostEqual(got, tc.want, 1e-12) {
+				t.Errorf("Dot = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestSquaredL2Basic(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"same point", []float64{1, 2, 3}, []float64{1, 2, 3}, 0},
+		{"pythagoras", []float64{0, 0}, []float64{3, 4}, 25},
+		{"len7 tail", []float64{1, 1, 1, 1, 1, 1, 1}, []float64{0, 0, 0, 0, 0, 0, 0}, 7},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := SquaredL2(tc.a, tc.b); !almostEqual(got, tc.want, 1e-12) {
+				t.Errorf("SquaredL2 = %v, want %v", got, tc.want)
+			}
+			if got := L2(tc.a, tc.b); !almostEqual(got, math.Sqrt(tc.want), 1e-12) {
+				t.Errorf("L2 = %v, want %v", got, math.Sqrt(tc.want))
+			}
+		})
+	}
+}
+
+func TestL1Basic(t *testing.T) {
+	if got := L1([]float64{1, -2, 3}, []float64{-1, 2, 0}); got != 2+4+3 {
+		t.Errorf("L1 = %v, want 9", got)
+	}
+}
+
+// Property: unrolled kernels match a naive reference on random inputs of
+// random lengths (covers every tail length mod 4).
+func TestKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(n uint8) bool {
+		d := int(n%33) + 1
+		a := make([]float64, d)
+		b := make([]float64, d)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		var dot, sq float64
+		for i := range a {
+			dot += a[i] * b[i]
+			diff := a[i] - b[i]
+			sq += diff * diff
+		}
+		return almostEqual(Dot(a, b), dot, 1e-9) && almostEqual(SquaredL2(a, b), sq, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the triangle inequality holds for L2 on random triples.
+func TestTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(n uint8) bool {
+		d := int(n%16) + 2
+		p := make([][]float64, 3)
+		for i := range p {
+			p[i] = make([]float64, d)
+			for j := range p[i] {
+				p[i][j] = rng.NormFloat64() * 10
+			}
+		}
+		ab := L2(p[0], p[1])
+		bc := L2(p[1], p[2])
+		ac := L2(p[0], p[2])
+		return ac <= ab+bc+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	if got := Norm([]float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := Norm(nil); got != 0 {
+		t.Errorf("Norm(nil) = %v, want 0", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := []float64{1, 2, 3}
+	c := Clone(a)
+	c[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone must not share backing storage")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 5}
+	dst := make([]float64, 2)
+	Add(dst, a, b)
+	if dst[0] != 4 || dst[1] != 7 {
+		t.Errorf("Add = %v", dst)
+	}
+	Sub(dst, b, a)
+	if dst[0] != 2 || dst[1] != 3 {
+		t.Errorf("Sub = %v", dst)
+	}
+	Scale(dst, a, 2)
+	if dst[0] != 2 || dst[1] != 4 {
+		t.Errorf("Scale = %v", dst)
+	}
+	// Aliased use must work too.
+	x := []float64{1, 1}
+	Add(x, x, x)
+	if x[0] != 2 || x[1] != 2 {
+		t.Errorf("aliased Add = %v", x)
+	}
+}
+
+func TestMean(t *testing.T) {
+	pts := [][]float64{{0, 0}, {2, 4}}
+	m := Mean(pts)
+	if m[0] != 1 || m[1] != 2 {
+		t.Errorf("Mean = %v", m)
+	}
+	if Mean(nil) != nil {
+		t.Error("Mean(nil) should be nil")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	pts := [][]float64{{1, 5}, {-2, 7}, {0, 6}}
+	lo, hi := MinMax(pts)
+	if lo[0] != -2 || lo[1] != 5 || hi[0] != 1 || hi[1] != 7 {
+		t.Errorf("MinMax = %v %v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != nil || hi != nil {
+		t.Error("MinMax(nil) should be nil,nil")
+	}
+}

@@ -1,0 +1,146 @@
+package pmlsh
+
+import (
+	"io"
+
+	"repro/internal/core"
+)
+
+// Neighbor is one query result: a point id (the row index passed to
+// Build, unless custom ids were provided) and its exact Euclidean
+// distance to the query.
+type Neighbor struct {
+	ID   int32
+	Dist float64
+}
+
+// QueryStats describes the work one query performed: the number of
+// projected range-query rounds, the number of original-space distance
+// verifications, the projected-space metric evaluations inside the
+// tree, and the final search radius.
+type QueryStats = core.QueryStats
+
+// Params are the derived confidence-interval constants for a given
+// approximation ratio c (Eq. 10 of the paper): the projected-radius
+// multiplier T = sqrt(χ²_{α1}(m)), and the false-positive constants α2
+// and β = 2α2 that size the candidate set.
+type Params = core.Params
+
+// Config controls index construction. The zero value reproduces the
+// paper's evaluation defaults.
+type Config struct {
+	// M is the number of hash functions, i.e. the projected
+	// dimensionality (0 = 15).
+	M int
+	// NumPivots is the PM-tree pivot count s (0 = 5). Set ZeroPivots to
+	// request a plain M-tree instead.
+	NumPivots int
+	// ZeroPivots forces s = 0 (a plain M-tree) when NumPivots is 0.
+	ZeroPivots bool
+	// Capacity is the PM-tree node capacity (0 = 16).
+	Capacity int
+	// Alpha1 is the confidence-interval parameter α₁ (0 = 1/e). Smaller
+	// values widen the projected search radius: higher recall, more
+	// work.
+	Alpha1 float64
+	// Seed makes builds deterministic.
+	Seed int64
+	// UseRTree swaps the PM-tree for an R-tree over the projections —
+	// the paper's R-LSH ablation. Slower on range-query workloads
+	// (Table 2) but otherwise equivalent.
+	UseRTree bool
+}
+
+// Index is a PM-LSH index. Queries (KNN, BallCover) are safe for
+// concurrent use; Insert is a single-writer operation and must not
+// overlap queries or other inserts.
+type Index struct {
+	ix *core.Index
+}
+
+// Build constructs an index over data. The data slice is retained and
+// must not be mutated while the index is in use. Every point must have
+// the same dimensionality.
+func Build(data [][]float64, cfg Config) (*Index, error) {
+	ix, err := core.Build(data, core.Config{
+		M:                  cfg.M,
+		NumPivots:          cfg.NumPivots,
+		ExplicitZeroPivots: cfg.ZeroPivots,
+		Capacity:           cfg.Capacity,
+		Alpha1:             cfg.Alpha1,
+		Seed:               cfg.Seed,
+		UseRTree:           cfg.UseRTree,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: ix}, nil
+}
+
+// Insert adds one point to the index and returns its assigned id (the
+// next dataset position). Inserts must not run concurrently with
+// queries or other inserts.
+func (x *Index) Insert(p []float64) (int32, error) { return x.ix.Insert(p) }
+
+// Len returns the number of indexed points.
+func (x *Index) Len() int { return x.ix.Len() }
+
+// Dim returns the dimensionality of indexed points.
+func (x *Index) Dim() int { return x.ix.Dim() }
+
+// M returns the projected dimensionality (hash-function count).
+func (x *Index) M() int { return x.ix.M() }
+
+// KNN answers a (c,k)-ANN query: it returns up to k points whose i-th
+// member is, with constant probability, within c²·||q,o*_i|| of the
+// query (o*_i the exact i-th NN). Results are sorted by distance.
+// c must exceed 1; c <= 0 selects the default 1.5.
+func (x *Index) KNN(q []float64, k int, c float64) ([]Neighbor, error) {
+	res, err := x.ix.KNN(q, k, c)
+	return convert(res), err
+}
+
+// KNNWithStats is KNN plus per-query work statistics.
+func (x *Index) KNNWithStats(q []float64, k int, c float64) ([]Neighbor, QueryStats, error) {
+	res, st, err := x.ix.KNNWithStats(q, k, c)
+	return convert(res), st, err
+}
+
+// BallCover answers an (r,c)-ball-cover query (Definition 3): if some
+// point lies within r of q it returns, with constant probability, a
+// point within c·r; if no point lies within c·r it returns nil.
+func (x *Index) BallCover(q []float64, r, c float64) (*Neighbor, error) {
+	res, err := x.ix.BallCover(q, r, c)
+	if err != nil || res == nil {
+		return nil, err
+	}
+	return &Neighbor{ID: res.ID, Dist: res.Dist}, nil
+}
+
+// DeriveParams exposes the confidence-interval constants used for a
+// given approximation ratio.
+func (x *Index) DeriveParams(c float64) (Params, error) {
+	return x.ix.DeriveParams(c)
+}
+
+// WriteTo serializes the index (projection, tree structure, dataset,
+// distance sample) to w in a little-endian binary format. A loaded
+// index answers queries identically to the saved one.
+func (x *Index) WriteTo(w io.Writer) (int64, error) { return x.ix.WriteTo(w) }
+
+// Load deserializes an index written with WriteTo.
+func Load(r io.Reader) (*Index, error) {
+	ix, err := core.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: ix}, nil
+}
+
+func convert(res []core.Result) []Neighbor {
+	out := make([]Neighbor, len(res))
+	for i, r := range res {
+		out[i] = Neighbor{ID: r.ID, Dist: r.Dist}
+	}
+	return out
+}
