@@ -1,11 +1,12 @@
 package pmlsh
 
 // One benchmark per table and figure of the paper's evaluation section,
-// plus the ablations called out in DESIGN.md. Benchmarks run on
-// scaled-down synthetic datasets so `go test -bench=.` finishes in
-// minutes; cmd/reprobench regenerates the full tables (and accepts a
-// -scale flag for paper-scale cardinalities). EXPERIMENTS.md records
-// paper-vs-measured numbers.
+// plus ablations (tree choice, confidence-interval width) and engine
+// microbenchmarks (single-query KNN, batch-query throughput).
+// Benchmarks run on scaled-down synthetic datasets so `go test
+// -bench=.` finishes in minutes; cmd/reprobench regenerates the full
+// tables (and accepts a -scale flag for paper-scale cardinalities).
+// CHANGES.md records measured engine numbers per PR.
 
 import (
 	"fmt"
@@ -216,9 +217,48 @@ func BenchmarkQueryK50(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ix.KNN(w.Queries[i%len(w.Queries)], 50, 1.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKNNSerial answers the whole query set one query at a time —
+// the serial baseline BenchmarkKNNBatch is compared against. One
+// iteration = len(w.Queries) queries for both, so ns/op is directly
+// comparable and aggregate QPS is queries/(ns/op).
+func BenchmarkKNNSerial(b *testing.B) {
+	w := workload(b)
+	ix, err := Build(w.Dataset.Points, Config{Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range w.Queries {
+			if _, err := ix.KNN(q, 50, 1.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkKNNBatch fans the same query set across the KNNBatch worker
+// pool (GOMAXPROCS workers): the first-class concurrent read path.
+func BenchmarkKNNBatch(b *testing.B) {
+	w := workload(b)
+	ix, err := Build(w.Dataset.Points, Config{Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.KNNBatch(w.Queries, 50, 1.5); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,6 @@
 // Command reprobench regenerates every table and figure of the PM-LSH
 // paper's evaluation section on synthetic stand-ins for its seven
-// datasets (see DESIGN.md for the substitution rationale).
+// datasets (see internal/dataset for the substitution rationale).
 //
 // Usage:
 //

@@ -22,12 +22,33 @@
 // The zero Config uses the paper's evaluation defaults: m = 15 hash
 // functions, s = 5 PM-tree pivots, α₁ = 1/e.
 //
+// # Storage layout
+//
+// Build copies the input rows once into a contiguous flat buffer (the
+// internal vector store): every indexed point is a fixed-stride row of
+// one []float64, and the PM-tree's leaves reference rows of a second
+// store holding the projections. Candidate verification therefore
+// streams sequential memory instead of chasing a pointer per point,
+// compares squared distances with early abandonment against the
+// running k-th best, and defers the k square roots to the end of the
+// query.
+//
+// # Queries and concurrency
+//
+// KNN, KNNWithStats, KNNBatch and BallCover are safe for concurrent
+// use; Insert is single-writer and must not overlap them. KNNBatch
+// fans a query slice across a worker pool of up to GOMAXPROCS
+// goroutines and returns per-query results in input order — the
+// throughput-oriented entry point for serving many concurrent readers:
+//
+//	results, err := index.KNNBatch(queries, 10, 1.5)
+//
 // # Repository layout
 //
 // The exported API wraps internal/core. The repository also contains
-// the full substrate stack (PM-tree, R-tree, B+-tree, p-stable LSH, χ²
-// statistics) and every baseline from the paper's evaluation (SRS,
-// QALSH, Multi-Probe LSH, R-LSH, linear scan) under internal/, along
-// with a benchmark harness that regenerates each table and figure; see
-// DESIGN.md and EXPERIMENTS.md.
+// the full substrate stack (vector store, PM-tree, R-tree, B+-tree,
+// p-stable LSH, χ² statistics) and every baseline from the paper's
+// evaluation (SRS, QALSH, Multi-Probe LSH, R-LSH, linear scan) under
+// internal/, along with a benchmark harness that regenerates each
+// table and figure; see README.md for the layer diagram.
 package pmlsh

@@ -1,12 +1,13 @@
 // Package bench is the experiment harness: it builds every algorithm
 // from the paper's evaluation over a common workload and regenerates
-// each table and figure (see DESIGN.md's per-experiment index).
+// each table and figure.
 package bench
 
 import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/lscan"
 	"repro/internal/metrics"
 	"repro/internal/multiprobe"
@@ -110,6 +111,25 @@ func BuildAlgo(name AlgoName, data [][]float64, cfg BuildConfig) (Algorithm, err
 	}
 }
 
+// BuildAlgoForDataset is BuildAlgo for a generated dataset: PM-LSH and
+// R-LSH build directly over the dataset's contiguous store
+// (core.BuildFromStore), skipping the per-row copy BuildAlgo's
+// [][]float64 path pays. The harness never mutates datasets or inserts
+// into the built indexes, which is what sharing the store requires.
+func BuildAlgoForDataset(name AlgoName, ds *dataset.Dataset, cfg BuildConfig) (Algorithm, error) {
+	switch name {
+	case PMLSH, RLSH:
+		cfg.fill()
+		ix, err := core.BuildFromStore(ds.Store, core.Config{Seed: cfg.Seed, UseRTree: name == RLSH})
+		if err != nil {
+			return nil, err
+		}
+		return &pmlshAdapter{ix: ix, c: cfg.C, name: string(name)}, nil
+	default:
+		return BuildAlgo(name, ds.Points, cfg)
+	}
+}
+
 // BuildAll constructs the requested algorithms (nil = all six).
 func BuildAll(names []AlgoName, data [][]float64, cfg BuildConfig) ([]Algorithm, error) {
 	if names == nil {
@@ -118,6 +138,22 @@ func BuildAll(names []AlgoName, data [][]float64, cfg BuildConfig) ([]Algorithm,
 	out := make([]Algorithm, 0, len(names))
 	for _, n := range names {
 		a, err := BuildAlgo(n, data, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %s: %w", n, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// BuildAllForDataset is BuildAll via BuildAlgoForDataset.
+func BuildAllForDataset(names []AlgoName, ds *dataset.Dataset, cfg BuildConfig) ([]Algorithm, error) {
+	if names == nil {
+		names = AllAlgos()
+	}
+	out := make([]Algorithm, 0, len(names))
+	for _, n := range names {
+		a, err := BuildAlgoForDataset(n, ds, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("bench: building %s: %w", n, err)
 		}

@@ -17,13 +17,16 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/lsh"
 	"repro/internal/pmtree"
 	"repro/internal/rtree"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -175,7 +178,7 @@ func (a rtAdapter) DistanceComputations() int64 { return a.t.DistanceComputation
 // Index is a PM-LSH index over a fixed dataset.
 type Index struct {
 	cfg  Config
-	data [][]float64 // original points (not copied; callers must not mutate)
+	data *store.Store // original points, one contiguous buffer
 	proj *lsh.Projection
 	pidx projectedIndex
 	tree *pmtree.Tree // nil when UseRTree is set
@@ -225,10 +228,25 @@ const (
 	paperC      = 1.5
 )
 
-// Build constructs the index over data. The dataset slice is retained;
-// it must not be mutated afterwards.
+// Build constructs the index over data. The rows are copied once into
+// a contiguous store; the input slices are not retained and may be
+// mutated afterwards.
 func Build(data [][]float64, cfg Config) (*Index, error) {
 	if len(data) == 0 {
+		return nil, fmt.Errorf("core: Build requires a non-empty dataset")
+	}
+	s, err := store.FromRows(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return BuildFromStore(s, cfg)
+}
+
+// BuildFromStore constructs the index directly over the rows of s,
+// which is adopted as the index's dataset without copying. The caller
+// must not append to or mutate s afterwards.
+func BuildFromStore(s *store.Store, cfg Config) (*Index, error) {
+	if s.Len() == 0 {
 		return nil, fmt.Errorf("core: Build requires a non-empty dataset")
 	}
 	cfg.fillDefaults()
@@ -241,29 +259,27 @@ func Build(data [][]float64, cfg Config) (*Index, error) {
 	if cfg.RMinShrink <= 0 || cfg.RMinShrink > 1 {
 		return nil, fmt.Errorf("core: RMinShrink must be in (0,1], got %v", cfg.RMinShrink)
 	}
-	dim := len(data[0])
-	for i, p := range data {
-		if len(p) != dim {
-			return nil, fmt.Errorf("core: point %d has dimension %d, want %d", i, len(p), dim)
-		}
-	}
+	dim := s.Dim()
 
 	proj, err := lsh.NewProjection(cfg.M, dim, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	projected := proj.ProjectAll(data)
+	projected, err := proj.ProjectStore(s)
+	if err != nil {
+		return nil, err
+	}
 	var pidx projectedIndex
 	var tree *pmtree.Tree
 	if cfg.UseRTree {
-		rt, err := rtree.Build(projected, nil, rtree.Config{Capacity: cfg.Capacity})
+		rt, err := rtree.BuildFromStore(projected, nil, rtree.Config{Capacity: cfg.Capacity})
 		if err != nil {
 			return nil, err
 		}
 		pidx = rtAdapter{rt}
 	} else {
 		var err error
-		tree, err = pmtree.Build(projected, nil, pmtree.Config{
+		tree, err = pmtree.BuildFromStore(projected, nil, pmtree.Config{
 			Capacity:  cfg.Capacity,
 			NumPivots: cfg.NumPivots,
 			PivotSeed: cfg.Seed + 1,
@@ -288,7 +304,7 @@ func Build(data [][]float64, cfg Config) (*Index, error) {
 	// and its reported recall matches the larger candidate budget. We
 	// therefore scale the CDF argument by κ, fixed so that
 	// α2(c = 1.5) equals the published 0.1405; the shape of β(c) across
-	// the c-sweep (Figs. 10–11) is preserved. See EXPERIMENTS.md.
+	// the c-sweep (Figs. 10–11) is preserved.
 	kappa := 1.0
 	if xStar, err := chi.Quantile(paperAlpha2); err == nil {
 		kappa = xStar * paperC * paperC / (t * t)
@@ -296,7 +312,7 @@ func Build(data [][]float64, cfg Config) (*Index, error) {
 
 	ix := &Index{
 		cfg:   cfg,
-		data:  data,
+		data:  s,
 		proj:  proj,
 		pidx:  pidx,
 		tree:  tree,
@@ -322,19 +338,21 @@ func (ix *Index) Insert(p []float64) (int32, error) {
 	if len(p) != ix.dim {
 		return 0, fmt.Errorf("core: point has dimension %d, index expects %d", len(p), ix.dim)
 	}
-	id := int32(len(ix.data))
+	id := int32(ix.data.Len())
 	if err := ix.pidx.Insert(ix.proj.Project(p), id); err != nil {
 		return 0, err
 	}
-	ix.data = append(ix.data, p)
+	if _, err := ix.data.Append(p); err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
 
 	// Reservoir-style refresh of the distance sample.
-	if n := len(ix.data); n > 1 && len(ix.distCDF) > 0 {
+	if n := ix.data.Len(); n > 1 && len(ix.distCDF) > 0 {
 		rng := rand.New(rand.NewSource(ix.cfg.Seed + int64(id)))
 		const refresh = 4
 		for i := 0; i < refresh && i < n-1; i++ {
 			other := rng.Intn(n - 1)
-			d := vec.L2(p, ix.data[other])
+			d := vec.L2(p, ix.data.Row(other))
 			slot := rng.Intn(len(ix.distCDF))
 			ix.distCDF[slot] = d
 		}
@@ -349,7 +367,7 @@ func (ix *Index) Insert(p []float64) (int32, error) {
 // real datasets (Table 3) is what justifies using a global F for every
 // query point.
 func (ix *Index) sampleDistanceDistribution() {
-	n := len(ix.data)
+	n := ix.data.Len()
 	samples := ix.cfg.DistSampleSize
 	maxPairs := n * (n - 1) / 2
 	if samples > maxPairs {
@@ -367,7 +385,7 @@ func (ix *Index) sampleDistanceDistribution() {
 		if i == j {
 			continue
 		}
-		out = append(out, vec.L2(ix.data[i], ix.data[j]))
+		out = append(out, vec.L2(ix.data.Row(i), ix.data.Row(j)))
 	}
 	sort.Float64s(out)
 	ix.distCDF = out
@@ -392,7 +410,7 @@ func (ix *Index) distQuantile(p float64) float64 {
 // per Eq. 10: t² = χ²_{α1}(m) and t² = c²·χ²_{1−α2}(m), giving
 // α2 = CDF_{χ²(m)}(κ·t²/c²) and β = 2α2 (Lemma 5). κ calibrates the
 // derivation to the paper's published operating point (α2 = 0.1405 at
-// c = 1.5, Section 6.1); see the comment in Build and EXPERIMENTS.md.
+// c = 1.5, Section 6.1); see the comment in BuildFromStore.
 // Config.Beta, when set, overrides β entirely.
 func (ix *Index) DeriveParams(c float64) (Params, error) {
 	if c <= 1 {
@@ -412,7 +430,7 @@ func (ix *Index) DeriveParams(c float64) (Params, error) {
 }
 
 // Len returns the dataset cardinality.
-func (ix *Index) Len() int { return len(ix.data) }
+func (ix *Index) Len() int { return ix.data.Len() }
 
 // Dim returns the original dimensionality.
 func (ix *Index) Dim() int { return ix.dim }
@@ -459,7 +477,7 @@ func (ix *Index) KNNWithStats(q []float64, k int, c float64) ([]Result, QuerySta
 	if err != nil {
 		return nil, st, err
 	}
-	n := len(ix.data)
+	n := ix.data.Len()
 	needed := int(math.Ceil(params.Beta*float64(n))) + k
 
 	// r_min: the radius at which F predicts βn + k points, shrunk a bit
@@ -474,7 +492,15 @@ func (ix *Index) KNNWithStats(q []float64, k int, c float64) ([]Result, QuerySta
 	defer ix.putScratch(sc)
 	distStart := ix.pidx.DistanceComputations()
 
-	var cand []Result
+	// Verification keeps only the running top-k (squared distances; the
+	// k square roots are deferred to the end). Every unique candidate
+	// still counts toward Verified and the βn+k budget, but a candidate
+	// that provably cannot enter the top-k is abandoned partway through
+	// its distance loop (SquaredL2Bounded against the running k-th
+	// best), which removes both the per-candidate sqrt and most of the
+	// wasted multiply-adds of the original full-sort verifier.
+	top := make([]Result, 0, k) // Dist holds squared distances until return
+	bound := math.Inf(1)        // current k-th best squared distance
 	for {
 		st.Rounds++
 		projRes, err := ix.pidx.RangeSearch(qp, params.T*r)
@@ -486,19 +512,24 @@ func (ix *Index) KNNWithStats(q []float64, k int, c float64) ([]Result, QuerySta
 				continue
 			}
 			sc.marks[pr.ID] = sc.epoch
-			d := vec.L2(q, ix.data[pr.ID])
 			st.Verified++
-			cand = insertCandidate(cand, Result{ID: pr.ID, Dist: d})
-			if len(cand) >= needed {
+			d2 := vec.SquaredL2Bounded(q, ix.data.Row(int(pr.ID)), bound)
+			if len(top) < k || d2 < bound {
+				top = insertCandidate(top, Result{ID: pr.ID, Dist: d2}, k)
+				if len(top) == k {
+					bound = top[k-1].Dist
+				}
+			}
+			if st.Verified >= needed {
 				break
 			}
 		}
 		// Termination 1 (Alg. 2 line 9): enough candidates overall.
-		if len(cand) >= needed {
+		if st.Verified >= needed {
 			break
 		}
 		// Termination 2 (Alg. 2 line 4): k verified points within c·r.
-		if kthWithin(cand, k, c*r) {
+		if cr := c * r; kthWithin(top, k, cr*cr) {
 			break
 		}
 		// All points examined: nothing more to find.
@@ -509,10 +540,49 @@ func (ix *Index) KNNWithStats(q []float64, k int, c float64) ([]Result, QuerySta
 	}
 	st.FinalRadius = r
 	st.ProjectedDistComps = ix.pidx.DistanceComputations() - distStart
-	if len(cand) > k {
-		cand = cand[:k]
+	for i := range top {
+		top[i].Dist = math.Sqrt(top[i].Dist)
 	}
-	return cand, st, nil
+	return top, st, nil
+}
+
+// KNNBatch answers many (c,k)-ANN queries concurrently: queries are
+// fanned across a bounded worker pool (GOMAXPROCS workers, each reusing
+// the per-query scratch pool), and out[i] holds the neighbors of qs[i].
+// The first query error, if any, is returned after all workers stop.
+// KNNBatch must not overlap Insert, like every query path.
+func (ix *Index) KNNBatch(qs [][]float64, k int, c float64) ([][]Result, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	out := make([][]Result, len(qs))
+	errs := make([]error, len(qs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				out[i], errs[i] = ix.KNN(qs[i], k, c)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("core: batch query %d: %w", i, err)
+		}
+	}
+	return out, nil
 }
 
 // smallestPositiveDistance returns the smallest non-zero sampled
@@ -526,16 +596,24 @@ func (ix *Index) smallestPositiveDistance() float64 {
 	return 1e-9
 }
 
-// insertCandidate keeps cand sorted ascending by distance.
-func insertCandidate(cand []Result, r Result) []Result {
+// insertCandidate keeps cand sorted ascending by distance and capped at
+// k entries (equal distances keep first-inserted order, matching the
+// uncapped sort-then-truncate behavior).
+func insertCandidate(cand []Result, r Result, k int) []Result {
 	i := sort.Search(len(cand), func(i int) bool { return cand[i].Dist > r.Dist })
-	cand = append(cand, Result{})
+	if i >= k {
+		return cand
+	}
+	if len(cand) < k {
+		cand = append(cand, Result{})
+	}
 	copy(cand[i+1:], cand[i:])
 	cand[i] = r
 	return cand
 }
 
-// kthWithin reports whether at least k candidates lie within radius.
+// kthWithin reports whether at least k candidates lie within radius
+// (cand and radius in the same units — squared distances here).
 func kthWithin(cand []Result, k int, radius float64) bool {
 	return len(cand) >= k && cand[k-1].Dist <= radius
 }
@@ -554,7 +632,7 @@ func (ix *Index) BallCover(q []float64, r, c float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := len(ix.data)
+	n := ix.data.Len()
 	betaN := int(math.Ceil(params.Beta * float64(n)))
 
 	qp := ix.proj.Project(q)
@@ -562,12 +640,16 @@ func (ix *Index) BallCover(q []float64, r, c float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Track the best candidate in squared space with early abandonment.
 	best := Result{ID: -1, Dist: math.Inf(1)}
 	for _, pr := range projRes {
-		d := vec.L2(q, ix.data[pr.ID])
-		if d < best.Dist {
-			best = Result{ID: pr.ID, Dist: d}
+		d2 := vec.SquaredL2Bounded(q, ix.data.Row(int(pr.ID)), best.Dist)
+		if d2 < best.Dist {
+			best = Result{ID: pr.ID, Dist: d2}
 		}
+	}
+	if best.ID >= 0 {
+		best.Dist = math.Sqrt(best.Dist)
 	}
 	switch {
 	case len(projRes) >= betaN+1:

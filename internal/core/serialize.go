@@ -11,23 +11,28 @@ import (
 	"repro/internal/pmtree"
 	"repro/internal/rtree"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Binary serialization of a PM-LSH index. The stream is little-endian:
 //
-//	magic "PLS1"
+//	magic "PLS2"
 //	config: m u32 | pivots u32 | capacity u32 | alpha1 f64 | seed i64 |
 //	        sampleSize u32 | rminShrink f64 | beta f64 | useRTree u8
 //	dim u32 | n u32
 //	projection rows (m × dim f64)
 //	distCDF length u32 + values
-//	data (n × dim f64)
+//	data (n × dim f64, the store's flat buffer verbatim)
 //	PM-tree stream (absent when useRTree: the R-tree is rebuilt from
 //	the stored projections on load, which is cheap relative to I/O)
 //
-// A loaded index answers queries identically to the saved one.
+// Version 2 marks the store-backed index layout; the byte layout is
+// unchanged from version 1 (the flat data block was already row-major),
+// so Load accepts both magics. A loaded index answers queries
+// identically to the saved one.
 
-var plsMagic = [4]byte{'P', 'L', 'S', '1'}
+var plsMagic = [4]byte{'P', 'L', 'S', '2'}
+var plsMagicV1 = [4]byte{'P', 'L', 'S', '1'}
 
 // WriteTo serializes the index. It implements io.WriterTo.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
@@ -70,7 +75,7 @@ func (ix *Index) encode(w io.Writer) error {
 	if _, err := w.Write([]byte{useRTree}); err != nil {
 		return fmt.Errorf("core: write tree flag: %w", err)
 	}
-	if err := binary.Write(w, binary.LittleEndian, []uint32{uint32(ix.dim), uint32(len(ix.data))}); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, []uint32{uint32(ix.dim), uint32(ix.data.Len())}); err != nil {
 		return fmt.Errorf("core: write shape: %w", err)
 	}
 	for i := 0; i < ix.cfg.M; i++ {
@@ -84,10 +89,11 @@ func (ix *Index) encode(w io.Writer) error {
 	if err := binary.Write(w, binary.LittleEndian, ix.distCDF); err != nil {
 		return fmt.Errorf("core: write cdf: %w", err)
 	}
-	for _, p := range ix.data {
-		if err := binary.Write(w, binary.LittleEndian, p); err != nil {
-			return fmt.Errorf("core: write data: %w", err)
-		}
+	// The store's flat buffer is the wire format; encode it through a
+	// fixed-size chunk buffer (binary.Write would materialize the whole
+	// 8*n*dim-byte encoding at once, doubling memory during save).
+	if err := writeFloat64s(w, ix.data.Flat()); err != nil {
+		return fmt.Errorf("core: write data: %w", err)
 	}
 	if !cfg.UseRTree {
 		if _, err := ix.tree.WriteTo(w); err != nil {
@@ -104,7 +110,7 @@ func Load(r io.Reader) (*Index, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("core: read magic: %w", err)
 	}
-	if magic != plsMagic {
+	if magic != plsMagic && magic != plsMagicV1 {
 		return nil, fmt.Errorf("core: bad magic %q", magic)
 	}
 	var cfg Config
@@ -144,6 +150,17 @@ func Load(r io.Reader) (*Index, error) {
 	if cfg.M < 1 || dim < 1 || n < 1 || cfg.Alpha1 <= 0 || cfg.Alpha1 >= 1 {
 		return nil, fmt.Errorf("core: corrupt header (m=%d dim=%d n=%d α1=%v)", cfg.M, dim, n, cfg.Alpha1)
 	}
+	// Plausibility bounds before header fields size allocations: a
+	// corrupt header must produce an error, not an OOM or an overflowed
+	// make. The individual bounds keep the products below overflow, the
+	// product bounds cap the actual allocations (data n*dim, projection
+	// m*dim, distance sample).
+	if n > 1<<30 || dim > 1<<20 || cfg.M > 1<<20 ||
+		uint64(n)*uint64(dim) > 1<<32 || uint64(cfg.M)*uint64(dim) > 1<<28 ||
+		cfg.DistSampleSize > 1<<28 {
+		return nil, fmt.Errorf("core: implausible header (m=%d dim=%d n=%d sample=%d)",
+			cfg.M, dim, n, cfg.DistSampleSize)
+	}
 
 	rows := make([][]float64, cfg.M)
 	for i := range rows {
@@ -165,25 +182,28 @@ func Load(r io.Reader) (*Index, error) {
 	if int(cdfLen) > 10*cfg.DistSampleSize+1 {
 		return nil, fmt.Errorf("core: implausible cdf length %d", cdfLen)
 	}
-	cdf := make([]float64, cdfLen)
-	if err := binary.Read(br, binary.LittleEndian, cdf); err != nil {
+	cdf, err := readFloat64s(br, int(cdfLen))
+	if err != nil {
 		return nil, fmt.Errorf("core: read cdf: %w", err)
 	}
 
-	flat := make([]float64, n*dim)
-	if err := binary.Read(br, binary.LittleEndian, flat); err != nil {
+	flat, err := readFloat64s(br, n*dim)
+	if err != nil {
 		return nil, fmt.Errorf("core: read data: %w", err)
 	}
-	data := make([][]float64, n)
-	for i := range data {
-		data[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	data, err := store.FromFlat(flat, dim)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 
 	var pidx projectedIndex
 	var tree *pmtree.Tree
 	if cfg.UseRTree {
-		projected := proj.ProjectAll(data)
-		rt, err := rtree.Build(projected, nil, rtree.Config{Capacity: cfg.Capacity})
+		projected, err := proj.ProjectStore(data)
+		if err != nil {
+			return nil, fmt.Errorf("core: rebuild R-tree: %w", err)
+		}
+		rt, err := rtree.BuildFromStore(projected, nil, rtree.Config{Capacity: cfg.Capacity})
 		if err != nil {
 			return nil, fmt.Errorf("core: rebuild R-tree: %w", err)
 		}
@@ -224,7 +244,7 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	// Sanity: stored data must be finite.
 	for i := 0; i < n; i += 1 + n/64 {
-		if !finite(data[i]) {
+		if !finite(data.Row(i)) {
 			return nil, fmt.Errorf("core: non-finite data at row %d", i)
 		}
 	}
@@ -238,6 +258,55 @@ func finite(fs []float64) bool {
 		}
 	}
 	return true
+}
+
+// readFloat64s reads total little-endian float64s incrementally: the
+// buffer grows only as data actually arrives, so a corrupt header
+// demanding more floats than the stream holds fails with a read error
+// once the stream ends instead of committing a header-sized up-front
+// allocation.
+func readFloat64s(r io.Reader, total int) ([]float64, error) {
+	const chunk = 16384
+	capHint := total
+	if capHint > 1<<24 {
+		capHint = 1 << 24
+	}
+	out := make([]float64, 0, capHint)
+	buf := make([]byte, chunk*8)
+	for len(out) < total {
+		n := total - len(out)
+		if n > chunk {
+			n = chunk
+		}
+		if _, err := io.ReadFull(r, buf[:n*8]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:])))
+		}
+	}
+	return out, nil
+}
+
+// writeFloat64s streams fs as little-endian float64s through a bounded
+// scratch buffer.
+func writeFloat64s(w io.Writer, fs []float64) error {
+	const chunk = 16384
+	buf := make([]byte, chunk*8)
+	for len(fs) > 0 {
+		n := len(fs)
+		if n > chunk {
+			n = chunk
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(fs[i]))
+		}
+		if _, err := w.Write(buf[:n*8]); err != nil {
+			return err
+		}
+		fs = fs[n:]
+	}
+	return nil
 }
 
 type countingWriter struct {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+
+	"repro/internal/store"
 )
 
 func TestIndexSerializeRoundTrip(t *testing.T) {
@@ -124,5 +126,80 @@ func TestLoadRejectsCorruptStreams(t *testing.T) {
 	}
 	if _, err := Load(bytes.NewReader(raw[:len(raw)/3])); err == nil {
 		t.Error("truncated stream accepted")
+	}
+}
+
+// Streams written before the store-backed layout carry the "PLS1"
+// magic; the byte layout is unchanged, so Load must accept them.
+func TestLoadAcceptsV1Magic(t *testing.T) {
+	data := clusteredData(400, 12, 4, 61)
+	orig, err := Build(data, Config{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	copy(b[:4], plsMagicV1[:])
+	loaded, err := Load(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("v1 magic rejected: %v", err)
+	}
+	q := make([]float64, 12)
+	a, err := orig.KNN(q, 5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := loaded.KNN(q, 5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("v1-loaded index diverged at result %d", i)
+		}
+	}
+}
+
+// BuildFromStore adopts the store without copying and answers exactly
+// like Build over the same rows.
+func TestBuildFromStoreEquivalent(t *testing.T) {
+	data := clusteredData(500, 10, 4, 62)
+	a, err := Build(data, Config{Seed: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.FromRows(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildFromStore(s, Config{Seed: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		q := make([]float64, 10)
+		for j := range q {
+			q[j] = rng.NormFloat64() * 10
+		}
+		ra, err := a.KNN(q, 6, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.KNN(q, 6, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ra) != len(rb) {
+			t.Fatalf("result counts differ: %d vs %d", len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("trial %d result %d: %+v vs %+v", trial, i, ra[i], rb[i])
+			}
+		}
 	}
 }

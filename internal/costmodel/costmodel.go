@@ -146,7 +146,7 @@ func RTreeCost(t *rtree.Tree, gs []*Distribution, rq float64) float64 {
 // side l intersects an MBR iff the cube's center lies within the MBR
 // extended by the half-side l/2, so each side is extended by l/2
 // instead of the paper's full l. It predicts roughly half the cost of
-// the literal formula; both variants are reported in EXPERIMENTS.md.
+// the literal formula; cmd/reprobench reports both variants.
 func RTreeCostMinkowski(t *rtree.Tree, gs []*Distribution, rq float64) float64 {
 	return rtreeCost(t, gs, isochoricSide(len(gs), rq)/2)
 }

@@ -4,7 +4,7 @@
 // homogeneity of viewpoints (HV), relative contrast (RC) and local
 // intrinsic dimensionality (LID).
 //
-// Substitution note (see DESIGN.md): the original datasets (Audio,
+// Substitution note: the original datasets (Audio,
 // Deep, NUS, MNIST, GIST, Cifar, Trevi) are image/audio feature
 // collections that are not available offline. LSH and metric-index
 // behavior depends on the cardinality, dimensionality and distance
@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -63,10 +64,14 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// Dataset is a generated point collection.
+// Dataset is a generated point collection. Points are zero-copy views
+// into Store's flat buffer, so callers can use whichever shape fits:
+// row slices for the baseline algorithms, the contiguous store for the
+// PM-LSH core.
 type Dataset struct {
 	Spec   Spec
 	Points [][]float64
+	Store  *store.Store
 }
 
 // paperTable3 mirrors the paper's Table 3: cardinality (×10³),
@@ -206,7 +211,11 @@ func Generate(spec Spec) (*Dataset, error) {
 		}
 		points[i] = p
 	}
-	return &Dataset{Spec: spec, Points: points}, nil
+	st, err := store.FromFlat(flat, d)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	return &Dataset{Spec: spec, Points: points, Store: st}, nil
 }
 
 // calibrate derives the cluster spread σ and a feasible cluster count
@@ -315,21 +324,30 @@ func GroundTruth(data [][]float64, queries [][]float64, k int) ([][]Neighbor, er
 	return out, nil
 }
 
-// exactKNN is a single-query brute-force top-k.
+// exactKNN is a single-query brute-force top-k. Distances are compared
+// squared with early abandonment against the running k-th best, and the
+// k square roots are taken once at the end.
 func exactKNN(data [][]float64, q []float64, k int) []Neighbor {
-	top := make([]Neighbor, 0, k+1)
+	top := make([]Neighbor, 0, k+1) // Dist holds squared distances until the end
+	bound := math.Inf(1)
 	for id, p := range data {
-		d := vec.L2(q, p)
-		if len(top) == k && d >= top[k-1].Dist {
+		d2 := vec.SquaredL2Bounded(q, p, bound)
+		if len(top) == k && d2 >= bound {
 			continue
 		}
-		i := sort.Search(len(top), func(i int) bool { return top[i].Dist > d })
+		i := sort.Search(len(top), func(i int) bool { return top[i].Dist > d2 })
 		top = append(top, Neighbor{})
 		copy(top[i+1:], top[i:])
-		top[i] = Neighbor{ID: int32(id), Dist: d}
+		top[i] = Neighbor{ID: int32(id), Dist: d2}
 		if len(top) > k {
 			top = top[:k]
 		}
+		if len(top) == k {
+			bound = top[k-1].Dist
+		}
+	}
+	for i := range top {
+		top[i].Dist = math.Sqrt(top[i].Dist)
 	}
 	return top
 }

@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -104,6 +105,21 @@ func (p *Projection) ProjectAll(data [][]float64) [][]float64 {
 		out[i] = dst
 	}
 	return out
+}
+
+// ProjectStore maps every row of src into a fresh m-dimensional store:
+// the flat-buffer counterpart of ProjectAll, used to hand the projected
+// points to a metric index without materializing per-row slices.
+func (p *Projection) ProjectStore(src *store.Store) (*store.Store, error) {
+	if src.Dim() != p.d {
+		return nil, fmt.Errorf("lsh: store has dimension %d, projection expects %d", src.Dim(), p.d)
+	}
+	n := src.Len()
+	flat := make([]float64, n*p.m)
+	for i := 0; i < n; i++ {
+		p.ProjectTo(flat[i*p.m:(i+1)*p.m:(i+1)*p.m], src.Row(i))
+	}
+	return store.FromFlat(flat, p.m)
 }
 
 // HashFunc is a single bucketed p-stable hash h(o) = ⌊(a·o + b)/w⌋

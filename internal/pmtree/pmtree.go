@@ -25,6 +25,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -77,10 +78,14 @@ type routingEntry struct {
 	hr         []Interval // e.HR: one ring per pivot
 }
 
-// leafEntry stores one indexed point together with its precomputed
+// leafEntry stores one indexed point as a row reference into the
+// tree's contiguous point store, together with its precomputed
 // distances to the global pivots (the PM-tree leaf's PD array).
+// Referencing a row instead of owning a slice keeps leaf entries small
+// (4 bytes vs a 24-byte slice header) and lets leaf scans walk one flat
+// buffer.
 type leafEntry struct {
-	point      []float64
+	row        int32 // index into Tree.points
 	id         int32
 	parentDist float64   // distance to the leaf node's routing object
 	pivotDist  []float64 // exact distances to the s pivots
@@ -99,9 +104,11 @@ func (n *node) size() int {
 	return len(n.routing)
 }
 
-// Tree is a PM-tree over m-dimensional float64 points.
+// Tree is a PM-tree over m-dimensional float64 points. Indexed points
+// live in one contiguous store; leaf entries reference rows of it.
 type Tree struct {
 	root     *node
+	points   *store.Store
 	pivots   [][]float64
 	capacity int
 	dim      int
@@ -144,8 +151,13 @@ func New(dim int, cfg Config) (*Tree, error) {
 	if cfg.NumPivots < 0 {
 		return nil, fmt.Errorf("pmtree: NumPivots must be >= 0, got %d", cfg.NumPivots)
 	}
+	pts, err := store.New(dim)
+	if err != nil {
+		return nil, fmt.Errorf("pmtree: %w", err)
+	}
 	return &Tree{
 		root:     &node{leaf: true},
+		points:   pts,
 		capacity: cfg.Capacity,
 		dim:      dim,
 	}, nil
@@ -177,6 +189,36 @@ func Build(data [][]float64, ids []int32, cfg Config) (*Tree, error) {
 			id = ids[i]
 		}
 		if err := t.Insert(p, id); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// BuildFromStore constructs a tree directly over the rows of s, which
+// is adopted as the tree's point store without copying. The caller must
+// not append to or mutate s afterwards. ids follows Build's contract.
+func BuildFromStore(s *store.Store, ids []int32, cfg Config) (*Tree, error) {
+	if s.Len() == 0 {
+		return nil, fmt.Errorf("pmtree: BuildFromStore requires at least one point")
+	}
+	if ids != nil && len(ids) != s.Len() {
+		return nil, fmt.Errorf("pmtree: got %d ids for %d points", len(ids), s.Len())
+	}
+	t, err := New(s.Dim(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.points = s
+	if cfg.NumPivots > 0 {
+		t.pivots = selectPivotsStore(s, cfg.NumPivots, cfg.PivotSeed)
+	}
+	for i := 0; i < s.Len(); i++ {
+		id := int32(i)
+		if ids != nil {
+			id = ids[i]
+		}
+		if err := t.insertRow(int32(i), id); err != nil {
 			return nil, err
 		}
 	}
@@ -223,13 +265,27 @@ func (t *Tree) pivotDistances(p []float64) []float64 {
 	return out
 }
 
-// Insert adds one point with the given id.
+// leafPoint resolves a leaf entry's point as a view into the store.
+func (t *Tree) leafPoint(e *leafEntry) []float64 { return t.points.Row(int(e.row)) }
+
+// Insert adds one point with the given id. The point is copied into the
+// tree's store; the caller's slice is not retained.
 func (t *Tree) Insert(p []float64, id int32) error {
 	if len(p) != t.dim {
 		return fmt.Errorf("pmtree: point has dimension %d, tree expects %d", len(p), t.dim)
 	}
+	row, err := t.points.Append(p)
+	if err != nil {
+		return fmt.Errorf("pmtree: %w", err)
+	}
+	return t.insertRow(row, id)
+}
+
+// insertRow inserts the point already stored at the given row.
+func (t *Tree) insertRow(row, id int32) error {
+	p := t.points.Row(int(row))
 	pd := t.pivotDistances(p)
-	left, right := t.insert(t.root, nil, p, id, pd)
+	left, right := t.insert(t.root, nil, p, id, pd, row)
 	if right != nil {
 		// Root split: grow the tree by one level.
 		newRoot := &node{leaf: false, routing: []routingEntry{*left, *right}}
@@ -243,13 +299,13 @@ func (t *Tree) Insert(p []float64, id int32) error {
 // (nil at the root). On overflow it splits n and returns both halves as
 // routing entries with parentDist unset (the caller fixes them up);
 // otherwise it returns (nil, nil).
-func (t *Tree) insert(n *node, parentCenter []float64, p []float64, id int32, pd []float64) (*routingEntry, *routingEntry) {
+func (t *Tree) insert(n *node, parentCenter []float64, p []float64, id int32, pd []float64, row int32) (*routingEntry, *routingEntry) {
 	if n.leaf {
 		parentDist := 0.0
 		if parentCenter != nil {
 			parentDist = t.dist(p, parentCenter)
 		}
-		n.entries = append(n.entries, leafEntry{point: p, id: id, parentDist: parentDist, pivotDist: pd})
+		n.entries = append(n.entries, leafEntry{row: row, id: id, parentDist: parentDist, pivotDist: pd})
 		if len(n.entries) > t.capacity {
 			return t.splitLeaf(n)
 		}
@@ -290,7 +346,7 @@ func (t *Tree) insert(n *node, parentCenter []float64, p []float64, id int32, pd
 		chosen.hr[i].extend(d)
 	}
 
-	left, right := t.insert(chosen.child, chosen.center, p, id, pd)
+	left, right := t.insert(chosen.child, chosen.center, p, id, pd, row)
 	if right == nil {
 		return nil, nil
 	}

@@ -226,7 +226,7 @@ func TestStructuralInvariants(t *testing.T) {
 			for i := range n.entries {
 				e := &n.entries[i]
 				for _, a := range ancestors {
-					if d := vec.L2(e.point, a.center); d > a.radius+1e-9 {
+					if d := vec.L2(tr.leafPoint(e), a.center); d > a.radius+1e-9 {
 						t.Fatalf("point %d outside ancestor ball: %v > %v", e.id, d, a.radius)
 					}
 					for k, pd := range e.pivotDist {
@@ -238,7 +238,7 @@ func TestStructuralInvariants(t *testing.T) {
 				}
 				// Stored pivot distances must be exact.
 				for k, pd := range e.pivotDist {
-					if math.Abs(pd-vec.L2(e.point, tr.pivots[k])) > 1e-9 {
+					if math.Abs(pd-vec.L2(tr.leafPoint(e), tr.pivots[k])) > 1e-9 {
 						t.Fatalf("stale pivot distance for point %d pivot %d", e.id, k)
 					}
 				}

@@ -76,7 +76,7 @@ func (t *Tree) rangeNode(n *node, q, parent []float64, qParentDist, r float64, q
 			if skip {
 				continue
 			}
-			if d := t.dist(q, e.point); d <= r {
+			if d := t.dist(q, t.leafPoint(e)); d <= r {
 				*out = append(*out, Result{ID: e.id, Dist: d})
 			}
 		}
@@ -173,7 +173,7 @@ func (t *Tree) KNNSearch(q []float64, k int) ([]Result, error) {
 				if len(out) >= k && lb > out[len(out)-1].Dist {
 					continue
 				}
-				d := t.dist(q, e.point)
+				d := t.dist(q, t.leafPoint(e))
 				if len(out) < k || d < out[len(out)-1].Dist {
 					heap.Push(pq, knnItem{isPt: true, id: e.id, bound: d})
 				}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/store"
 )
 
 // Binary serialization of the tree structure. The format is
@@ -69,7 +71,7 @@ func (t *Tree) encodeNode(w io.Writer, n *node) error {
 			if err := binary.Write(w, binary.LittleEndian, e.id); err != nil {
 				return fmt.Errorf("pmtree: write id: %w", err)
 			}
-			if err := writeFloats(w, e.point); err != nil {
+			if err := writeFloats(w, t.leafPoint(e)); err != nil {
 				return err
 			}
 			if err := writeFloats(w, []float64{e.parentDist}); err != nil {
@@ -116,11 +118,23 @@ func Read(r io.Reader) (*Tree, error) {
 		return nil, fmt.Errorf("pmtree: read header: %w", err)
 	}
 	dim, capacity, count, numPivots := int(hdr[0]), int(hdr[1]), int(hdr[2]), int(hdr[3])
-	if dim < 1 || capacity < 4 || numPivots < 0 || count < 0 {
+	if dim < 1 || capacity < 4 || numPivots < 0 || count < 0 ||
+		// Plausibility bounds: header fields size allocations (pivot
+		// slices, per-entry pivotDist, per-node entry arrays), so a
+		// corrupt header must error out before any of them.
+		dim > 1<<20 || capacity > 1<<20 || count > 1<<30 || numPivots > 1<<12 {
 		return nil, fmt.Errorf("pmtree: corrupt header dim=%d cap=%d count=%d pivots=%d",
 			dim, capacity, count, numPivots)
 	}
-	t := &Tree{dim: dim, capacity: capacity, count: count}
+	// The point store grows as nodes decode; the header count is
+	// untrusted, so it must not size an up-front allocation (a corrupt
+	// stream could demand petabytes or overflow count*dim). It is
+	// verified against the decoded leaves below.
+	pts, err := store.New(dim)
+	if err != nil {
+		return nil, fmt.Errorf("pmtree: %w", err)
+	}
+	t := &Tree{dim: dim, capacity: capacity, count: count, points: pts}
 	t.pivots = make([][]float64, numPivots)
 	for i := range t.pivots {
 		p, err := readFloats(br, dim)
@@ -174,7 +188,14 @@ func (t *Tree) decodeNode(r io.Reader, numPivots int) (*node, error) {
 			if err != nil {
 				return nil, err
 			}
-			e.point = p
+			if !validFinite(p) {
+				return nil, fmt.Errorf("pmtree: corrupt leaf entry %d", e.id)
+			}
+			row, err := t.points.Append(p)
+			if err != nil {
+				return nil, fmt.Errorf("pmtree: %w", err)
+			}
+			e.row = row
 			pd, err := readFloats(r, 1)
 			if err != nil {
 				return nil, err
@@ -186,7 +207,7 @@ func (t *Tree) decodeNode(r io.Reader, numPivots int) (*node, error) {
 					return nil, err
 				}
 			}
-			if !validFinite(e.point) || math.IsNaN(e.parentDist) {
+			if math.IsNaN(e.parentDist) {
 				return nil, fmt.Errorf("pmtree: corrupt leaf entry %d", e.id)
 			}
 		}

@@ -1,6 +1,10 @@
 package pmtree
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/vec"
+)
 
 // Node splitting follows the M-tree mM_RAD promotion policy: among a
 // set of candidate routing-object pairs, partition the overflowing
@@ -17,11 +21,13 @@ const maxExhaustivePairs = 24
 func (t *Tree) splitLeaf(n *node) (*routingEntry, *routingEntry) {
 	entries := n.entries
 	c1, c2 := t.promoteLeaf(entries)
+	p1 := t.leafPoint(&entries[c1])
+	p2 := t.leafPoint(&entries[c2])
 
 	var e1, e2 []leafEntry
-	for _, e := range entries {
-		d1 := t.dist(e.point, entries[c1].point)
-		d2 := t.dist(e.point, entries[c2].point)
+	for i, e := range entries {
+		d1 := t.dist(t.leafPoint(&entries[i]), p1)
+		d2 := t.dist(t.leafPoint(&entries[i]), p2)
 		if d1 <= d2 {
 			e.parentDist = d1
 			e1 = append(e1, e)
@@ -41,8 +47,10 @@ func (t *Tree) splitLeaf(n *node) (*routingEntry, *routingEntry) {
 		e1 = e1[:len(e1)-1]
 	}
 
-	left := t.makeLeafRouting(entries[c1].point, e1)
-	right := t.makeLeafRouting(entries[c2].point, e2)
+	// Routing centers are cloned out of the store so they stay valid (and
+	// do not pin stale buffers) across later store growth.
+	left := t.makeLeafRouting(vec.Clone(p1), e1)
+	right := t.makeLeafRouting(vec.Clone(p2), e2)
 	return left, right
 }
 
@@ -71,9 +79,11 @@ func (t *Tree) promoteLeaf(entries []leafEntry) (int, int) {
 	bestCost := math.Inf(1)
 	for _, pr := range pairs {
 		r1, r2 := 0.0, 0.0
+		pi := t.leafPoint(&entries[pr.i])
+		pj := t.leafPoint(&entries[pr.j])
 		for k := range entries {
-			d1 := t.dist(entries[k].point, entries[pr.i].point)
-			d2 := t.dist(entries[k].point, entries[pr.j].point)
+			d1 := t.dist(t.leafPoint(&entries[k]), pi)
+			d2 := t.dist(t.leafPoint(&entries[k]), pj)
 			if d1 <= d2 {
 				if d1 > r1 {
 					r1 = d1

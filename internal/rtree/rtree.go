@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -108,10 +109,13 @@ func (r Rect) Contains(p []float64) bool {
 	return true
 }
 
+// entry is either an inner entry (child non-nil, rect meaningful) or a
+// leaf entry (child nil, row referencing the tree's point store; its
+// degenerate rect is derived on demand by entryRect).
 type entry struct {
 	rect  Rect
-	child *node     // non-nil for inner entries
-	point []float64 // non-nil for leaf entries
+	child *node // non-nil for inner entries
+	row   int32 // store row for leaf entries
 	id    int32
 }
 
@@ -120,9 +124,11 @@ type node struct {
 	entries []entry
 }
 
-// Tree is an in-memory R-tree.
+// Tree is an in-memory R-tree. Indexed points live in one contiguous
+// store; leaf entries reference rows of it.
 type Tree struct {
 	root     *node
+	points   *store.Store
 	capacity int
 	dim      int
 	count    int
@@ -151,7 +157,11 @@ func New(dim int, cfg Config) (*Tree, error) {
 	if cfg.Capacity < 4 {
 		return nil, fmt.Errorf("rtree: capacity must be >= 4, got %d", cfg.Capacity)
 	}
-	return &Tree{root: &node{leaf: true}, capacity: cfg.Capacity, dim: dim}, nil
+	pts, err := store.New(dim)
+	if err != nil {
+		return nil, fmt.Errorf("rtree: %w", err)
+	}
+	return &Tree{root: &node{leaf: true}, points: pts, capacity: cfg.Capacity, dim: dim}, nil
 }
 
 // Build creates a tree over data; ids may be nil (indices are used).
@@ -178,6 +188,50 @@ func Build(data [][]float64, ids []int32, cfg Config) (*Tree, error) {
 	return t, nil
 }
 
+// BuildFromStore constructs a tree directly over the rows of s, which
+// is adopted as the tree's point store without copying. The caller must
+// not append to or mutate s afterwards. ids follows Build's contract.
+func BuildFromStore(s *store.Store, ids []int32, cfg Config) (*Tree, error) {
+	if s.Len() == 0 {
+		return nil, fmt.Errorf("rtree: BuildFromStore requires at least one point")
+	}
+	if ids != nil && len(ids) != s.Len() {
+		return nil, fmt.Errorf("rtree: got %d ids for %d points", len(ids), s.Len())
+	}
+	t, err := New(s.Dim(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.points = s
+	for i := 0; i < s.Len(); i++ {
+		id := int32(i)
+		if ids != nil {
+			id = ids[i]
+		}
+		t.insertRow(int32(i), id)
+	}
+	return t, nil
+}
+
+// leafPoint resolves a leaf entry's point as a view into the store.
+func (t *Tree) leafPoint(e *entry) []float64 { return t.points.Row(int(e.row)) }
+
+// entryRect returns the entry's bounding rectangle: the stored MBR for
+// inner entries, or a degenerate view-backed rectangle for leaf
+// entries. The result must be treated as read-only (extend only after
+// cloning, as enlargement and the split path already do).
+func (t *Tree) entryRect(e *entry) Rect {
+	if e.child != nil {
+		return e.rect
+	}
+	v := t.leafPoint(e)
+	return Rect{Lo: v, Hi: v}
+}
+
+func cloneRect(r Rect) Rect {
+	return Rect{Lo: vec.Clone(r.Lo), Hi: vec.Clone(r.Hi)}
+}
+
 // Len returns the number of indexed points.
 func (t *Tree) Len() int { return t.count }
 
@@ -193,22 +247,32 @@ func (t *Tree) NodeAccesses() int64 { return t.nodeAccesses.Load() }
 // ResetStats zeroes both counters.
 func (t *Tree) ResetStats() { t.distCalcs.Store(0); t.nodeAccesses.Store(0) }
 
-// Insert adds a point with the given id.
+// Insert adds a point with the given id. The point is copied into the
+// tree's store; the caller's slice is not retained.
 func (t *Tree) Insert(p []float64, id int32) error {
 	if len(p) != t.dim {
 		return fmt.Errorf("rtree: point has dimension %d, tree expects %d", len(p), t.dim)
 	}
-	left, right := t.insert(t.root, p, id)
+	row, err := t.points.Append(p)
+	if err != nil {
+		return fmt.Errorf("rtree: %w", err)
+	}
+	t.insertRow(row, id)
+	return nil
+}
+
+// insertRow inserts the point already stored at the given row.
+func (t *Tree) insertRow(row, id int32) {
+	left, right := t.insert(t.root, t.points.Row(int(row)), id, row)
 	if right != nil {
 		t.root = &node{leaf: false, entries: []entry{*left, *right}}
 	}
 	t.count++
-	return nil
 }
 
-func (t *Tree) insert(n *node, p []float64, id int32) (*entry, *entry) {
+func (t *Tree) insert(n *node, p []float64, id, row int32) (*entry, *entry) {
 	if n.leaf {
-		n.entries = append(n.entries, entry{rect: NewRect(p), point: p, id: id})
+		n.entries = append(n.entries, entry{row: row, id: id})
 		if len(n.entries) > t.capacity {
 			return t.split(n)
 		}
@@ -227,7 +291,7 @@ func (t *Tree) insert(n *node, p []float64, id int32) (*entry, *entry) {
 		}
 	}
 	n.entries[best].rect.extendPoint(p)
-	left, right := t.insert(n.entries[best].child, p, id)
+	left, right := t.insert(n.entries[best].child, p, id, row)
 	if right == nil {
 		return nil, nil
 	}
@@ -242,14 +306,19 @@ func (t *Tree) insert(n *node, p []float64, id int32) (*entry, *entry) {
 // split performs Guttman's quadratic split on an overflowing node.
 func (t *Tree) split(n *node) (*entry, *entry) {
 	es := n.entries
+	// Materialize every entry's rect once (leaf rects are derived views).
+	rects := make([]Rect, len(es))
+	for i := range es {
+		rects[i] = t.entryRect(&es[i])
+	}
 	// PickSeeds: the pair wasting the most volume.
 	s1, s2 := 0, 1
 	worst := math.Inf(-1)
 	for i := 0; i < len(es); i++ {
 		for j := i + 1; j < len(es); j++ {
-			u := Rect{Lo: vec.Clone(es[i].rect.Lo), Hi: vec.Clone(es[i].rect.Hi)}
-			u.extend(es[j].rect)
-			waste := u.Volume() - es[i].rect.Volume() - es[j].rect.Volume()
+			u := cloneRect(rects[i])
+			u.extend(rects[j])
+			waste := u.Volume() - rects[i].Volume() - rects[j].Volume()
 			if waste > worst {
 				worst = waste
 				s1, s2 = i, j
@@ -258,55 +327,59 @@ func (t *Tree) split(n *node) (*entry, *entry) {
 	}
 	g1 := []entry{es[s1]}
 	g2 := []entry{es[s2]}
-	r1 := Rect{Lo: vec.Clone(es[s1].rect.Lo), Hi: vec.Clone(es[s1].rect.Hi)}
-	r2 := Rect{Lo: vec.Clone(es[s2].rect.Lo), Hi: vec.Clone(es[s2].rect.Hi)}
+	r1 := cloneRect(rects[s1])
+	r2 := cloneRect(rects[s2])
 
 	rest := make([]entry, 0, len(es)-2)
+	restRects := make([]Rect, 0, len(es)-2)
 	for i := range es {
 		if i != s1 && i != s2 {
 			rest = append(rest, es[i])
+			restRects = append(restRects, rects[i])
 		}
 	}
 	minFill := (t.capacity + 1) / 2
 	for len(rest) > 0 {
 		// Force assignment when one group must take all the rest.
 		if len(g1)+len(rest) == minFill {
-			for _, e := range rest {
+			for i, e := range rest {
 				g1 = append(g1, e)
-				r1.extend(e.rect)
+				r1.extend(restRects[i])
 			}
 			break
 		}
 		if len(g2)+len(rest) == minFill {
-			for _, e := range rest {
+			for i, e := range rest {
 				g2 = append(g2, e)
-				r2.extend(e.rect)
+				r2.extend(restRects[i])
 			}
 			break
 		}
 		// PickNext: entry with the greatest preference difference.
 		bestIdx, bestDiff := 0, -1.0
-		for i, e := range rest {
-			d1 := r1.enlargement(e.rect)
-			d2 := r2.enlargement(e.rect)
+		for i := range rest {
+			d1 := r1.enlargement(restRects[i])
+			d2 := r2.enlargement(restRects[i])
 			if diff := math.Abs(d1 - d2); diff > bestDiff {
 				bestDiff = diff
 				bestIdx = i
 			}
 		}
 		e := rest[bestIdx]
+		er := restRects[bestIdx]
 		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
-		d1 := r1.enlargement(e.rect)
-		d2 := r2.enlargement(e.rect)
+		restRects = append(restRects[:bestIdx], restRects[bestIdx+1:]...)
+		d1 := r1.enlargement(er)
+		d2 := r2.enlargement(er)
 		toFirst := d1 < d2 ||
 			(d1 == d2 && (r1.Volume() < r2.Volume() ||
 				(r1.Volume() == r2.Volume() && len(g1) <= len(g2))))
 		if toFirst {
 			g1 = append(g1, e)
-			r1.extend(e.rect)
+			r1.extend(er)
 		} else {
 			g2 = append(g2, e)
-			r2.extend(e.rect)
+			r2.extend(er)
 		}
 	}
 	left := &entry{rect: r1, child: &node{leaf: n.leaf, entries: g1}}
@@ -350,7 +423,7 @@ func (t *Tree) rangeNode(n *node, q []float64, r2 float64, out *[]Result) {
 		for i := range n.entries {
 			e := &n.entries[i]
 			t.distCalcs.Add(1)
-			if d2 := vec.SquaredL2(q, e.point); d2 <= r2 {
+			if d2 := vec.SquaredL2(q, t.leafPoint(e)); d2 <= r2 {
 				*out = append(*out, Result{ID: e.id, Dist: math.Sqrt(d2)})
 			}
 		}
@@ -459,7 +532,7 @@ func (it *Iterator) Next() (id int32, dist float64, ok bool) {
 			for i := range n.entries {
 				e := &n.entries[i]
 				it.t.distCalcs.Add(1)
-				heap.Push(&it.pq, incItem{isPt: true, id: e.id, distSq: vec.SquaredL2(it.q, e.point)})
+				heap.Push(&it.pq, incItem{isPt: true, id: e.id, distSq: vec.SquaredL2(it.q, it.t.leafPoint(e))})
 			}
 			continue
 		}
@@ -487,9 +560,9 @@ func (t *Tree) Walk(fn func(NodeInfo)) {
 	}
 	rootRect := NewRect(make([]float64, t.dim))
 	if len(t.root.entries) > 0 {
-		rootRect = Rect{Lo: vec.Clone(t.root.entries[0].rect.Lo), Hi: vec.Clone(t.root.entries[0].rect.Hi)}
-		for _, e := range t.root.entries[1:] {
-			rootRect.extend(e.rect)
+		rootRect = cloneRect(t.entryRect(&t.root.entries[0]))
+		for i := range t.root.entries[1:] {
+			rootRect.extend(t.entryRect(&t.root.entries[i+1]))
 		}
 	}
 	t.walkNode(t.root, rootRect, 0, fn)

@@ -215,7 +215,7 @@ func TestMBRInvariant(t *testing.T) {
 			e := &n.entries[i]
 			if n.leaf {
 				for _, a := range ancestors {
-					if !a.Contains(e.point) {
+					if !a.Contains(tr.leafPoint(e)) {
 						t.Fatalf("point %d outside ancestor MBR", e.id)
 					}
 				}

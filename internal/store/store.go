@@ -1,0 +1,105 @@
+// Package store provides the contiguous vector storage every layer of
+// the PM-LSH reproduction shares: n fixed-dimension float64 rows backed
+// by one flat buffer.
+//
+// The flat layout is what makes the hot distance loops memory-friendly:
+// scanning candidate rows walks a single allocation in address order
+// instead of chasing one pointer per point, and batch kernels
+// (vec.SquaredL2ToMany) can stream the buffer directly.
+//
+// Rows are append-only and immutable once written. Row returns a
+// zero-copy view into the backing buffer; because Append may grow (and
+// therefore reallocate) the buffer, callers that hold views across
+// mutations keep a correct-but-stale copy of the old backing array —
+// safe for reading values, but long-lived references should store row
+// indices and re-resolve views instead.
+//
+// A Store is safe for concurrent readers. Append is single-writer and
+// must not overlap reads, matching the index layers built on top.
+package store
+
+import "fmt"
+
+// Store is a dense matrix of n rows × dim columns in one flat buffer.
+type Store struct {
+	dim int
+	buf []float64 // len(buf) == n*dim at all times
+}
+
+// New creates an empty store for rows of the given dimensionality.
+func New(dim int) (*Store, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("store: dimension must be positive, got %d", dim)
+	}
+	return &Store{dim: dim}, nil
+}
+
+// FromRows copies rows into a fresh store, validating that every row
+// has the same positive dimensionality. The input is not retained.
+func FromRows(rows [][]float64) (*Store, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("store: FromRows requires at least one row")
+	}
+	dim := len(rows[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("store: rows must be non-empty")
+	}
+	buf := make([]float64, 0, len(rows)*dim)
+	for i, r := range rows {
+		if len(r) != dim {
+			return nil, fmt.Errorf("store: row %d has dimension %d, want %d", i, len(r), dim)
+		}
+		buf = append(buf, r...)
+	}
+	return &Store{dim: dim, buf: buf}, nil
+}
+
+// FromFlat adopts an existing flat buffer of n*dim values without
+// copying. The buffer must not be mutated by the caller afterwards.
+func FromFlat(flat []float64, dim int) (*Store, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("store: dimension must be positive, got %d", dim)
+	}
+	if len(flat)%dim != 0 {
+		return nil, fmt.Errorf("store: flat length %d is not a multiple of dim %d", len(flat), dim)
+	}
+	return &Store{dim: dim, buf: flat}, nil
+}
+
+// Len returns the number of rows.
+func (s *Store) Len() int { return len(s.buf) / s.dim }
+
+// Dim returns the row dimensionality.
+func (s *Store) Dim() int { return s.dim }
+
+// Row returns a zero-copy view of row i. The view is valid until the
+// next Append that grows the buffer; see the package comment.
+func (s *Store) Row(i int) []float64 {
+	off := i * s.dim
+	return s.buf[off : off+s.dim : off+s.dim]
+}
+
+// Flat returns the backing buffer (len = Len()*Dim()). Read-only.
+func (s *Store) Flat() []float64 { return s.buf }
+
+// Append copies p into the store as a new row and returns its index.
+func (s *Store) Append(p []float64) (int32, error) {
+	if len(p) != s.dim {
+		return 0, fmt.Errorf("store: row has dimension %d, store expects %d", len(p), s.dim)
+	}
+	id := int32(s.Len())
+	s.buf = append(s.buf, p...)
+	return id, nil
+}
+
+// Rows materializes a [][]float64 of zero-copy row views (for
+// compatibility with APIs that still take slices of rows). The views
+// share the backing buffer; do not mutate them, and do not hold the
+// result across Appends.
+func (s *Store) Rows() [][]float64 {
+	out := make([][]float64, s.Len())
+	for i := range out {
+		out[i] = s.Row(i)
+	}
+	return out
+}

@@ -63,6 +63,92 @@ func L2(a, b []float64) float64 {
 	return math.Sqrt(SquaredL2(a, b))
 }
 
+// abandonStride is how many components SquaredL2Bounded accumulates
+// between bound checks: large enough that the check cost is amortized,
+// small enough that hopeless candidates are dropped early.
+const abandonStride = 16
+
+// SquaredL2Bounded returns the squared Euclidean distance between a and
+// b as long as it does not exceed bound; once the running partial sum
+// passes bound the scan abandons and returns that partial sum (which is
+// > bound but not the full distance). Callers prune candidates against a
+// running k-th-best distance: a return value > bound proves the
+// candidate cannot beat the bound, which is all top-k selection needs.
+// A non-positive bound disables early abandonment. It panics if the
+// lengths differ.
+func SquaredL2Bounded(a, b []float64, bound float64) float64 {
+	if len(a) != len(b) {
+		panic("vec: dimension mismatch in SquaredL2Bounded")
+	}
+	if bound <= 0 {
+		return SquaredL2(a, b)
+	}
+	// The accumulation pattern mirrors SquaredL2 exactly (the same four
+	// running accumulators over the same element order), so a pass that
+	// never abandons returns a bit-identical result.
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+abandonStride <= len(a); i += abandonStride {
+		for j := i; j < i+abandonStride; j += 4 {
+			d0 := a[j] - b[j]
+			d1 := a[j+1] - b[j+1]
+			d2 := a[j+2] - b[j+2]
+			d3 := a[j+3] - b[j+3]
+			s0 += d0 * d0
+			s1 += d1 * d1
+			s2 += d2 * d2
+			s3 += d3 * d3
+		}
+		if p := s0 + s1 + s2 + s3; p > bound {
+			return p
+		}
+	}
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// SquaredL2ToMany computes the squared Euclidean distance from q to
+// every dim-length row of the flat buffer (rows laid out back to back,
+// as in a store.Store), writing one distance per row into dst and
+// returning dst (allocated when nil). len(q) must equal dim, dim must
+// be positive, len(flat) must be a multiple of dim and dst, when
+// non-nil, must hold len(flat)/dim values; violations panic. Streaming
+// one contiguous buffer instead of chasing a pointer per row is the
+// batch counterpart of SquaredL2.
+func SquaredL2ToMany(dst []float64, q, flat []float64, dim int) []float64 {
+	if dim <= 0 || len(q) != dim {
+		panic("vec: dimension mismatch in SquaredL2ToMany")
+	}
+	if len(flat)%dim != 0 {
+		panic("vec: flat length is not a multiple of dim in SquaredL2ToMany")
+	}
+	n := len(flat) / dim
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	if len(dst) != n {
+		panic("vec: dst length mismatch in SquaredL2ToMany")
+	}
+	for r := 0; r < n; r++ {
+		dst[r] = SquaredL2(q, flat[r*dim:(r+1)*dim:(r+1)*dim])
+	}
+	return dst
+}
+
 // L1 returns the Manhattan distance between a and b.
 // It panics if the lengths differ.
 func L1(a, b []float64) float64 {
@@ -128,13 +214,18 @@ func Scale(dst, a []float64, s float64) []float64 {
 }
 
 // Mean returns the component-wise mean of the given points.
-// It returns nil for an empty input.
+// It returns nil for an empty input and panics if the points do not all
+// share the dimensionality of the first.
 func Mean(points [][]float64) []float64 {
 	if len(points) == 0 {
 		return nil
 	}
-	out := make([]float64, len(points[0]))
+	d := len(points[0])
+	out := make([]float64, d)
 	for _, p := range points {
+		if len(p) != d {
+			panic("vec: dimension mismatch in Mean")
+		}
 		for i, v := range p {
 			out[i] += v
 		}
@@ -147,7 +238,8 @@ func Mean(points [][]float64) []float64 {
 }
 
 // MinMax returns per-dimension minima and maxima over points.
-// It returns (nil, nil) for an empty input.
+// It returns (nil, nil) for an empty input and panics if the points do
+// not all share the dimensionality of the first.
 func MinMax(points [][]float64) (lo, hi []float64) {
 	if len(points) == 0 {
 		return nil, nil
@@ -156,6 +248,9 @@ func MinMax(points [][]float64) (lo, hi []float64) {
 	lo = Clone(points[0])
 	hi = Clone(points[0])
 	for _, p := range points[1:] {
+		if len(p) != d {
+			panic("vec: dimension mismatch in MinMax")
+		}
 		for i := 0; i < d; i++ {
 			if p[i] < lo[i] {
 				lo[i] = p[i]

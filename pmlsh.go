@@ -58,9 +58,10 @@ type Index struct {
 	ix *core.Index
 }
 
-// Build constructs an index over data. The data slice is retained and
-// must not be mutated while the index is in use. Every point must have
-// the same dimensionality.
+// Build constructs an index over data. Every point must have the same
+// dimensionality. The rows are copied once into the index's contiguous
+// vector store, so the caller keeps ownership of data and may reuse or
+// mutate it after Build returns.
 func Build(data [][]float64, cfg Config) (*Index, error) {
 	ix, err := core.Build(data, core.Config{
 		M:                  cfg.M,
@@ -100,10 +101,33 @@ func (x *Index) KNN(q []float64, k int, c float64) ([]Neighbor, error) {
 	return convert(res), err
 }
 
-// KNNWithStats is KNN plus per-query work statistics.
+// KNNWithStats is KNN plus per-query work statistics. Rounds, Verified
+// and FinalRadius are exact per query; ProjectedDistComps is the delta
+// of a tree-wide counter, so when queries overlap (KNNBatch, or
+// concurrent KNNWithStats calls) it includes work done by the other
+// in-flight queries.
 func (x *Index) KNNWithStats(q []float64, k int, c float64) ([]Neighbor, QueryStats, error) {
 	res, st, err := x.ix.KNNWithStats(q, k, c)
 	return convert(res), st, err
+}
+
+// KNNBatch answers many (c,k)-ANN queries concurrently, fanning them
+// across a worker pool of up to GOMAXPROCS goroutines. out[i] holds the
+// neighbors of qs[i], in the same order KNN would return them; results
+// are identical to calling KNN per query, only the scheduling differs.
+// The first query error, if any, is returned after all workers finish.
+// KNNBatch is safe to run concurrently with KNN and other KNNBatch
+// calls, but — like all queries — must not overlap Insert.
+func (x *Index) KNNBatch(qs [][]float64, k int, c float64) ([][]Neighbor, error) {
+	res, err := x.ix.KNNBatch(qs, k, c)
+	if res == nil {
+		return nil, err
+	}
+	out := make([][]Neighbor, len(res))
+	for i, r := range res {
+		out[i] = convert(r)
+	}
+	return out, err
 }
 
 // BallCover answers an (r,c)-ball-cover query (Definition 3): if some

@@ -1,0 +1,179 @@
+package pmlsh
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// KNNBatch must return exactly what per-query KNN returns, in input
+// order.
+func TestKNNBatchMatchesSerial(t *testing.T) {
+	ds := testData(t, 900)
+	ix, err := Build(ds.Points, Config{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := ds.Queries(40, 32)
+	batch, err := ix.KNNBatch(qs, 10, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(qs) {
+		t.Fatalf("batch returned %d result sets for %d queries", len(batch), len(qs))
+	}
+	for i, q := range qs {
+		serial, err := ix.KNN(q, 10, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(serial) != len(batch[i]) {
+			t.Fatalf("query %d: batch %d results, serial %d", i, len(batch[i]), len(serial))
+		}
+		for j := range serial {
+			if serial[j] != batch[i][j] {
+				t.Fatalf("query %d result %d: batch %+v, serial %+v", i, j, batch[i][j], serial[j])
+			}
+		}
+	}
+}
+
+func TestKNNBatchEdgeCases(t *testing.T) {
+	ds := testData(t, 300)
+	ix, err := Build(ds.Points, Config{Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := ix.KNNBatch(nil, 5, 1.5); err != nil || res != nil {
+		t.Fatalf("empty batch: %v %v", res, err)
+	}
+	// A bad query surfaces as an error naming its index; the good
+	// queries still complete.
+	qs := ds.Queries(3, 34)
+	qs[1] = []float64{1, 2, 3} // wrong dimensionality
+	res, err := ix.KNNBatch(qs, 5, 1.5)
+	if err == nil {
+		t.Fatal("bad query should produce an error")
+	}
+	if len(res) != 3 || res[0] == nil || res[2] == nil {
+		t.Fatalf("good queries should still be answered: %v", res)
+	}
+	if _, err := ix.KNNBatch(ds.Queries(2, 35), 0, 1.5); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+}
+
+// Exercises the per-query scratch pool under the race detector: many
+// goroutines mixing KNNBatch and single KNN calls against one shared
+// index. Run with `go test -race`.
+func TestConcurrentBatchAndSingleQueries(t *testing.T) {
+	ds := testData(t, 700)
+	ix, err := Build(ds.Points, Config{Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := ds.Queries(16, 38)
+	want, err := ix.KNNBatch(qs, 5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		// Batch caller.
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				got, err := ix.KNNBatch(qs, 5, 1.5)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for i := range got {
+					for j := range got[i] {
+						if got[i][j] != want[i][j] {
+							t.Errorf("concurrent batch diverged at query %d", i)
+							return
+						}
+					}
+				}
+			}
+		}()
+		// Single-query caller.
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 8; rep++ {
+				qi := (g*7 + rep) % len(qs)
+				got, err := ix.KNN(qs[qi], 5, 1.5)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for j := range got {
+					if got[j] != want[qi][j] {
+						t.Errorf("concurrent KNN diverged at query %d", qi)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// A store-backed index must round-trip through WriteTo/Load and answer
+// every query identically, for both the PM-tree and R-tree variants and
+// across KNN, KNNBatch and BallCover.
+func TestStoreBackedRoundTrip(t *testing.T) {
+	ds := testData(t, 800)
+	for _, cfg := range []Config{
+		{Seed: 41},
+		{Seed: 41, UseRTree: true},
+	} {
+		ix, err := Build(ds.Points, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := ds.Queries(20, 42)
+		a, err := ix.KNNBatch(qs, 7, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.KNNBatch(qs, 7, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if len(a[i]) != len(b[i]) {
+				t.Fatalf("cfg %+v query %d: %d vs %d results", cfg, i, len(a[i]), len(b[i]))
+			}
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("cfg %+v query %d result %d: %+v vs %+v", cfg, i, j, a[i][j], b[i][j])
+				}
+			}
+		}
+		nb1, err1 := ix.BallCover(qs[0], 1.0, 2)
+		nb2, err2 := loaded.BallCover(qs[0], 1.0, 2)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if (nb1 == nil) != (nb2 == nil) || (nb1 != nil && *nb1 != *nb2) {
+			t.Fatalf("cfg %+v: BallCover diverged: %+v vs %+v", cfg, nb1, nb2)
+		}
+	}
+}
