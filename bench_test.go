@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/estimator"
 )
@@ -243,6 +244,93 @@ func BenchmarkKNNSerial(b *testing.B) {
 			if _, err := ix.KNN(q, 50, 1.5); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// cpEnv lazily builds the closest-pair reference workload once per
+// process: a dedup-shaped corpus (many small clusters, as a document
+// collection with templated content) with planted near-copies, plus an
+// index over the union. The same workload drives the CP engine
+// benchmarks and the naive per-point BallCover dedup loop they replace.
+type cpEnv struct {
+	once sync.Once
+	w    *bench.CPWorkload
+	ix   *core.Index
+	err  error
+}
+
+var cpe cpEnv
+
+const (
+	cpBenchK = 60  // pairs asked of the CP engine (= planted duplicates)
+	cpBenchC = 2.0 // dedup's approximation ratio (matches examples/dedup)
+)
+
+func cpWorkload(b *testing.B) (*bench.CPWorkload, *core.Index) {
+	b.Helper()
+	cpe.once.Do(func() {
+		// Dedup-shaped corpus: many tight template clusters (near-copies
+		// of a document concentrate sharply around it), higher original
+		// dimensionality, plus planted near-duplicates.
+		ds, err := dataset.Generate(dataset.Spec{
+			Name: "cpbench", N: 2400, D: 784, Clusters: 160, SubspaceDim: 5, RCTarget: 6.0, Seed: 52,
+		})
+		if err != nil {
+			cpe.err = err
+			return
+		}
+		cpe.w, cpe.err = bench.NewCPWorkload(ds, cpBenchK, 53)
+		if cpe.err != nil {
+			return
+		}
+		cpe.ix, cpe.err = core.Build(cpe.w.Points, core.Config{Seed: 54})
+	})
+	if cpe.err != nil {
+		b.Fatal(cpe.err)
+	}
+	return cpe.w, cpe.ix
+}
+
+// BenchmarkClosestPairs measures one (c,k)-closest-pair query over the
+// reference dedup workload: the dual-branch self-join traversal with
+// confidence-interval termination.
+func BenchmarkClosestPairs(b *testing.B) {
+	_, ix := cpWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.ClosestPairs(cpBenchK, cpBenchC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClosestPairsParallel is the same query with pair
+// verification fanned across the worker pool.
+func BenchmarkClosestPairsParallel(b *testing.B) {
+	_, ix := cpWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.ClosestPairsParallel(cpBenchK, cpBenchC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNaiveDedupBallCover is the pre-subsystem baseline on the
+// same workload: one BallCover probe per corpus point (n independent
+// probes, each re-projecting the point and re-traversing the tree).
+// One iteration covers the whole corpus, so ns/op compares directly
+// with one ClosestPairs call above.
+func BenchmarkNaiveDedupBallCover(b *testing.B) {
+	w, ix := cpWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.NaiveDedupBallCover(ix, w.Points, w.DupRadius, cpBenchC); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

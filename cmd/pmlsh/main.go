@@ -6,6 +6,7 @@
 //
 //	pmlsh build -data vectors.f64 -index out.pmlsh [-m 15] [-pivots 5]
 //	pmlsh query -index out.pmlsh -k 10 -c 1.5 -point "0.1,0.2,..."
+//	pmlsh cp    -index out.pmlsh -k 10 -c 1.5 [-par]
 //	pmlsh bench -index out.pmlsh -k 10 -c 1.5 -queries 100 [-par]
 //	pmlsh info  -index out.pmlsh
 package main
@@ -36,6 +37,8 @@ func main() {
 		err = runBuild(os.Args[2:])
 	case "query":
 		err = runQuery(os.Args[2:])
+	case "cp":
+		err = runCP(os.Args[2:])
 	case "bench":
 		err = runBench(os.Args[2:])
 	case "info":
@@ -51,7 +54,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pmlsh <build|query|bench|info> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pmlsh <build|query|cp|bench|info> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'pmlsh <subcommand> -h' for flags")
 }
 
@@ -120,6 +123,52 @@ func runQuery(args []string) error {
 	}
 	fmt.Printf("rounds=%d verified=%d\n", st.Rounds, st.Verified)
 	return nil
+}
+
+// runCP answers a (c,k)-closest-pair query over the indexed dataset:
+// the k pairs of indexed points that are, within factor c, the closest
+// in the whole collection (near-duplicate detection, self-join).
+func runCP(args []string) error {
+	fs := flag.NewFlagSet("cp", flag.ExitOnError)
+	indexPath := fs.String("index", "", "index file")
+	k := fs.Int("k", 10, "number of closest pairs")
+	c := fs.Float64("c", 1.5, "approximation ratio")
+	par := fs.Bool("par", false, "fan pair verification across a GOMAXPROCS worker pool")
+	fs.Parse(args)
+	if *indexPath == "" {
+		return fmt.Errorf("cp requires -index")
+	}
+	ix, err := loadIndex(*indexPath)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if *par {
+		pairs, err := ix.ClosestPairsParallel(*k, *c)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		printPairs(pairs)
+		fmt.Printf("parallel (%d workers), wall time %v\n",
+			runtime.GOMAXPROCS(0), elapsed.Round(time.Microsecond))
+		return nil
+	}
+	pairs, st, err := ix.ClosestPairsWithStats(*k, *c)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	printPairs(pairs)
+	fmt.Printf("enumerated=%d verified=%d projected-dist-comps=%d, wall time %v\n",
+		st.Enumerated, st.Verified, st.ProjectedDistComps, elapsed.Round(time.Microsecond))
+	return nil
+}
+
+func printPairs(pairs []pmlsh.Pair) {
+	for i, p := range pairs {
+		fmt.Printf("%2d. (%d, %d) dist=%.6f\n", i+1, p.I, p.J, p.Dist)
+	}
 }
 
 func runBench(args []string) error {

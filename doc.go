@@ -31,17 +31,44 @@
 // streams sequential memory instead of chasing a pointer per point,
 // compares squared distances with early abandonment against the
 // running k-th best, and defers the k square roots to the end of the
-// query.
+// query. The PM-tree itself is bulk loaded — metric-local leaves
+// packed by recursive bisection, upper levels assembled bottom-up with
+// exact radii and rings — which tightens the pruning bounds every
+// query path depends on.
+//
+// # Closest-pair search
+//
+// The journal extension of PM-LSH generalizes the framework from
+// (c,k)-ANN to (c,k)-approximate closest-pair search: find k pairs of
+// indexed points such that, with constant probability, the i-th
+// returned distance is within factor c of the exact i-th closest pair
+// distance. ClosestPairs runs a dual-branch self-join traversal over
+// the PM-tree in projected space, enumerating candidate pairs in
+// increasing projected distance, verifying them with exact distances
+// in the contiguous store, and terminating on the confidence-interval
+// radius condition:
+//
+//	pairs, err := index.ClosestPairs(10, 1.5) // 10 closest pairs, ratio 1.5
+//
+// ClosestPairsParallel fans pair verification across a GOMAXPROCS
+// worker pool. De-duplicating a corpus is the canonical use — the
+// near-copies are exactly the closest pairs (see examples/dedup). The
+// R-tree ablation (Config.UseRTree) does not support the self-join.
 //
 // # Queries and concurrency
 //
-// KNN, KNNWithStats, KNNBatch and BallCover are safe for concurrent
-// use; Insert is single-writer and must not overlap them. KNNBatch
-// fans a query slice across a worker pool of up to GOMAXPROCS
+// KNN, KNNWithStats, KNNBatch, BallCover and ClosestPairs are safe for
+// concurrent use; Insert is single-writer and must not overlap them.
+// KNNBatch fans a query slice across a worker pool of up to GOMAXPROCS
 // goroutines and returns per-query results in input order — the
 // throughput-oriented entry point for serving many concurrent readers:
 //
 //	results, err := index.KNNBatch(queries, 10, 1.5)
+//
+// The WithStats variants report per-query work counters. All counters
+// are exact per query except ProjectedDistComps, which is the delta of
+// a tree-wide total and therefore includes work by queries running
+// concurrently with the measured one.
 //
 // # Repository layout
 //

@@ -1,0 +1,191 @@
+package pmlsh
+
+// Edge-case sweep of the public query surface: degenerate k values,
+// empty batches, duplicate points, exact-match queries, and
+// dimension-mismatch errors across every query entry point.
+
+import (
+	"testing"
+)
+
+func edgeIndex(t *testing.T, n int) (*Index, [][]float64) {
+	t.Helper()
+	ds := testData(t, n)
+	ix, err := Build(ds.Points, Config{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, ds.Points
+}
+
+func TestEdgeKExceedsN(t *testing.T) {
+	ix, pts := edgeIndex(t, 7)
+	res, err := ix.KNN(pts[0], 50, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 7 {
+		t.Errorf("k > n: got %d results, want all 7", len(res))
+	}
+	// Closest pairs clamp k to n(n-1)/2.
+	pairs, err := ix.ClosestPairs(1000, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 21 {
+		t.Errorf("k > maxPairs: got %d pairs, want 21", len(pairs))
+	}
+}
+
+func TestEdgeKZeroOrNegative(t *testing.T) {
+	ix, pts := edgeIndex(t, 50)
+	if _, err := ix.KNN(pts[0], 0, 1.5); err == nil {
+		t.Error("KNN k=0 should fail")
+	}
+	if _, err := ix.KNN(pts[0], -1, 1.5); err == nil {
+		t.Error("KNN k<0 should fail")
+	}
+	if _, _, err := ix.KNNWithStats(pts[0], 0, 1.5); err == nil {
+		t.Error("KNNWithStats k=0 should fail")
+	}
+	if _, err := ix.ClosestPairs(0, 1.5); err == nil {
+		t.Error("ClosestPairs k=0 should fail")
+	}
+	if _, err := ix.ClosestPairsParallel(-2, 1.5); err == nil {
+		t.Error("ClosestPairsParallel k<0 should fail")
+	}
+}
+
+func TestEdgeEmptyBatch(t *testing.T) {
+	ix, pts := edgeIndex(t, 50)
+	out, err := ix.KNNBatch(nil, 3, 1.5)
+	if err != nil || out != nil {
+		t.Errorf("nil batch: out=%v err=%v", out, err)
+	}
+	out, err = ix.KNNBatch([][]float64{}, 3, 1.5)
+	if err != nil || out != nil {
+		t.Errorf("empty batch: out=%v err=%v", out, err)
+	}
+	// A batch error carries the failing query's index.
+	bad := [][]float64{pts[0], {1, 2}}
+	if _, err := ix.KNNBatch(bad, 3, 1.5); err == nil {
+		t.Error("batch with a mismatched query should fail")
+	}
+}
+
+func TestEdgeDuplicatePoints(t *testing.T) {
+	base := testData(t, 120).Points
+	data := append([][]float64{}, base...)
+	data = append(data, base[3], base[3], base[7]) // exact duplicates
+	ix, err := Build(data, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A query on the duplicated point sees zero-distance results.
+	res, err := ix.KNN(base[3], 3, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 || res[0].Dist != 0 || res[1].Dist != 0 || res[2].Dist != 0 {
+		t.Errorf("duplicate query results: %+v", res)
+	}
+	// The closest pairs are the zero-distance duplicate pairs.
+	pairs, err := ix.ClosestPairs(4, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := 0
+	for _, p := range pairs {
+		if p.Dist == 0 {
+			zero++
+		}
+	}
+	if zero < 4 { // {3,120},{3,121},{120,121},{7,122}
+		t.Errorf("want 4 zero-distance pairs, got %d: %+v", zero, pairs)
+	}
+}
+
+func TestEdgeQueryEqualsIndexedPoint(t *testing.T) {
+	ix, pts := edgeIndex(t, 200)
+	res, st, err := ix.KNNWithStats(pts[42], 1, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 42 || res[0].Dist != 0 {
+		t.Errorf("self query: %+v (stats %+v)", res, st)
+	}
+	hit, err := ix.BallCover(pts[42], 0.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit == nil || hit.Dist != 0 {
+		t.Errorf("self BallCover: %+v", hit)
+	}
+}
+
+func TestEdgeDimensionMismatch(t *testing.T) {
+	ix, _ := edgeIndex(t, 50)
+	short := []float64{1, 2, 3}
+	if _, err := ix.KNN(short, 3, 1.5); err == nil {
+		t.Error("KNN dim mismatch should fail")
+	}
+	if _, err := ix.BallCover(short, 1, 2.0); err == nil {
+		t.Error("BallCover dim mismatch should fail")
+	}
+	if _, err := ix.Insert(short); err == nil {
+		t.Error("Insert dim mismatch should fail")
+	}
+	if _, err := ix.KNNBatch([][]float64{short}, 3, 1.5); err == nil {
+		t.Error("KNNBatch dim mismatch should fail")
+	}
+}
+
+func TestEdgeBallCoverErrors(t *testing.T) {
+	ix, pts := edgeIndex(t, 50)
+	if _, err := ix.BallCover(pts[0], 0, 2.0); err == nil {
+		t.Error("zero radius should fail")
+	}
+	if _, err := ix.BallCover(pts[0], -1, 2.0); err == nil {
+		t.Error("negative radius should fail")
+	}
+	if _, err := ix.BallCover(pts[0], 1, 0.9); err == nil {
+		t.Error("c <= 1 should fail")
+	}
+}
+
+func TestEdgeClosestPairsSurface(t *testing.T) {
+	// R-tree ablation has no self-join traversal.
+	ds := testData(t, 80)
+	rix, err := Build(ds.Points, Config{Seed: 1, UseRTree: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rix.ClosestPairs(3, 1.5); err == nil {
+		t.Error("R-tree ClosestPairs should fail")
+	}
+	if _, err := rix.ClosestPairsParallel(3, 1.5); err == nil {
+		t.Error("R-tree ClosestPairsParallel should fail")
+	}
+
+	// Single-point index has no pairs.
+	one, err := Build(ds.Points[:1], Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := one.ClosestPairs(5, 1.5)
+	if err != nil || len(pairs) != 0 {
+		t.Errorf("single point: pairs=%v err=%v", pairs, err)
+	}
+
+	// c <= 1 is rejected; c <= 0 selects the default.
+	ix, _ := Build(ds.Points, Config{Seed: 1})
+	if _, err := ix.ClosestPairs(3, 1.01); err != nil {
+		t.Errorf("c=1.01 should work: %v", err)
+	}
+	if _, err := ix.ClosestPairs(3, 0.5); err == nil {
+		t.Error("0 < c <= 1 should fail")
+	}
+	if res, err := ix.ClosestPairs(3, 0); err != nil || len(res) != 3 {
+		t.Errorf("c=0 (default): res=%v err=%v", res, err)
+	}
+}

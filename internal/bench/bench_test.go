@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 )
 
@@ -221,5 +222,59 @@ func TestPrinters(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("printed output missing %q", want)
 		}
+	}
+}
+
+func TestClosestPairStudy(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Spec{
+		Name: "cp", N: 500, D: 24, Clusters: 10, SubspaceDim: 5, RCTarget: 2.2, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewCPWorkload(ds, 10, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Points) != 510 || len(w.Planted) != 10 || w.DupRadius <= 0 {
+		t.Fatalf("workload shape: n=%d planted=%d r=%v", len(w.Points), len(w.Planted), w.DupRadius)
+	}
+	rows, err := ClosestPairStudy(w, 10, 1.5, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (serial + parallel)", len(rows))
+	}
+	for _, r := range rows {
+		// The planted duplicates make the closest pairs easy; the ratio
+		// must stay within the c guarantee.
+		if r.Ratio > 1.5+1e-9 || r.Ratio < 1-1e-9 {
+			t.Errorf("%s: ratio %v outside [1, c]", r.Algo, r.Ratio)
+		}
+		if r.TimeMS < 0 {
+			t.Errorf("%s: negative time", r.Algo)
+		}
+	}
+
+	if _, err := NewCPWorkload(ds, 0, 1); err == nil {
+		t.Error("zero duplicates should fail")
+	}
+}
+
+func TestNaiveDedupBallCover(t *testing.T) {
+	w := smallWorkload(t, 400)
+	ix, err := core.BuildFromStore(w.Dataset.Store, core.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probing every indexed point finds at least itself within any
+	// positive radius, so every probe hits.
+	hits, err := NaiveDedupBallCover(ix, w.Dataset.Points[:50], 0.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != 50 {
+		t.Errorf("self probes: %d hits of 50", hits)
 	}
 }

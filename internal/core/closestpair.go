@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pmtree"
+	"repro/internal/vec"
+)
+
+// Closest-pair search: the journal extension of PM-LSH generalizes the
+// tree-over-projections design from (c,k)-ANN to (c,k)-approximate
+// closest-pair search. The engine runs a dual-branch (self-join)
+// traversal over the PM-tree in projected space (pmtree.PairEnumerator),
+// consuming candidate pairs in increasing projected distance, verifying
+// each with its exact distance in the contiguous store, and terminating
+// on the confidence-interval radius condition.
+//
+// Mirroring Algorithm 2's radius selection, each round caps the
+// self-join at projected radius t·r: a pair at original distance <= r
+// projects within t·r with probability 1−α1 (Lemma 3's interval). The
+// initial r comes from the empirical pair-distance distribution F — the
+// radius at which F predicts about βn + k pairs — and is enlarged to
+// c·r whenever a round ends before the result is settled. A round
+// settles once the k-th best exact distance r_k satisfies r_k <= c·r:
+// every unseen pair then lies, with constant probability, above r_k/c,
+// making the result a (c,k)-approximation. The βn + k verification
+// budget mirrors Algorithm 2's second termination. An uncapped
+// enumeration would degenerate on self-joins: until k pairs are
+// verified there is no distance to prune with, and the traversal would
+// materialize a large fraction of all O(n²) pairs.
+
+// Pair is one returned closest pair: two dataset ids (I < J) and their
+// exact original-space distance.
+type Pair struct {
+	I, J int32
+	Dist float64
+}
+
+// CPStats reports the work one closest-pair query performed.
+type CPStats struct {
+	// Rounds is the number of capped self-joins issued (like the KNN
+	// engine, one or two rounds are typical).
+	Rounds int
+	// Enumerated is the number of candidate pairs consumed from the
+	// projected-space self-join, including pairs re-enumerated by later
+	// rounds.
+	Enumerated int
+	// Verified is the number of unique pairs whose original-space
+	// distance was computed.
+	Verified int
+	// ProjectedDistComps is the number of projected-space metric
+	// evaluations inside the PM-tree traversal. Like the KNN statistic,
+	// it is the delta of a tree-wide counter and includes work from
+	// queries running concurrently with this one.
+	ProjectedDistComps int64
+}
+
+// ClosestPairs answers a (c,k)-closest-pair query: it returns up to k
+// pairs of distinct indexed points such that, with constant probability,
+// the i-th returned distance is within factor c of the exact i-th
+// closest pair distance. Results are sorted by distance; each unordered
+// pair appears at most once. c <= 0 selects DefaultC. k is clamped to
+// the number of distinct pairs; an index with fewer than two points
+// returns an empty result.
+//
+// The index must have been built over a PM-tree (the default); the
+// R-tree ablation does not support the self-join traversal.
+func (ix *Index) ClosestPairs(k int, c float64) ([]Pair, error) {
+	res, _, err := ix.ClosestPairsWithStats(k, c)
+	return res, err
+}
+
+// ClosestPairsWithStats is ClosestPairs plus work statistics.
+func (ix *Index) ClosestPairsWithStats(k int, c float64) ([]Pair, CPStats, error) {
+	var st CPStats
+	s, err := ix.cpSetup(k, c)
+	if err != nil || s == nil {
+		return nil, st, err
+	}
+	distStart := ix.tree.DistanceComputations()
+	top := make([]Pair, 0, s.k) // Dist holds squared distances until return
+	bound := math.Inf(1)        // current k-th best squared distance
+	seen := make(map[[2]int32]bool, s.budget)
+	r := s.r0
+rounds:
+	for {
+		st.Rounds++
+		en := s.newRound(r, len(top), bound)
+		for {
+			cand, ok := en.Next()
+			if !ok {
+				break
+			}
+			st.Enumerated++
+			key := [2]int32{cand.ID1, cand.ID2}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			st.Verified++
+			d2 := vec.SquaredL2Bounded(ix.data.Row(int(cand.ID1)), ix.data.Row(int(cand.ID2)), bound)
+			if len(top) < s.k || d2 < bound {
+				top = insertPair(top, Pair{I: cand.ID1, J: cand.ID2, Dist: d2}, s.k)
+				if len(top) == s.k {
+					bound = top[s.k-1].Dist
+					en.SetCutoff(s.projCutoff(bound))
+				}
+			}
+			// Termination 2: enough unique pairs verified overall.
+			if st.Verified >= s.budget && len(top) == s.k {
+				break rounds
+			}
+		}
+		if s.settled(top, bound, r, st.Verified) {
+			break
+		}
+		r *= s.c
+	}
+	st.ProjectedDistComps = ix.tree.DistanceComputations() - distStart
+	finishPairs(top)
+	return top, st, nil
+}
+
+// cpBatchSize is how many candidate pairs ClosestPairsParallel pulls
+// from the (serial) enumerator before fanning their verification across
+// the worker pool.
+const cpBatchSize = 256
+
+// ClosestPairsParallel is ClosestPairs with candidate verification
+// fanned across a GOMAXPROCS worker pool (mirroring KNNBatch): the
+// projected-space enumeration stays serial, but each batch of candidate
+// pairs is verified concurrently against the contiguous store. The
+// termination conditions are checked between batches, so the parallel
+// variant may verify slightly more candidates than the serial one — it
+// returns pairs at least as good, under the same (c,k) guarantee.
+func (ix *Index) ClosestPairsParallel(k int, c float64) ([]Pair, error) {
+	s, err := ix.cpSetup(k, c)
+	if err != nil || s == nil {
+		return nil, err
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cpBatchSize {
+		workers = cpBatchSize
+	}
+	top := make([]Pair, 0, s.k)
+	bound := math.Inf(1)
+	seen := make(map[[2]int32]bool, s.budget)
+	verified := 0
+	cands := make([]pmtree.PairCandidate, 0, cpBatchSize)
+	d2s := make([]float64, cpBatchSize)
+	r := s.r0
+rounds:
+	for {
+		en := s.newRound(r, len(top), bound)
+		for {
+			cands = cands[:0]
+			for len(cands) < cpBatchSize {
+				cand, ok := en.Next()
+				if !ok {
+					break
+				}
+				key := [2]int32{cand.ID1, cand.ID2}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				cands = append(cands, cand)
+			}
+			if len(cands) == 0 {
+				break
+			}
+			// Verify the batch in parallel. The bound snapshot only
+			// governs early abandonment: a stale (larger) bound merely
+			// abandons later, and an abandoned partial sum still exceeds
+			// every bound the merge below could compare it against.
+			snap := bound
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(cands) {
+							return
+						}
+						d2s[i] = vec.SquaredL2Bounded(
+							ix.data.Row(int(cands[i].ID1)), ix.data.Row(int(cands[i].ID2)), snap)
+					}
+				}()
+			}
+			wg.Wait()
+			for i := range cands {
+				if d2 := d2s[i]; len(top) < s.k || d2 < bound {
+					top = insertPair(top, Pair{I: cands[i].ID1, J: cands[i].ID2, Dist: d2}, s.k)
+					if len(top) == s.k {
+						bound = top[s.k-1].Dist
+					}
+				}
+			}
+			verified += len(cands)
+			if len(top) == s.k {
+				en.SetCutoff(s.projCutoff(bound))
+				if verified >= s.budget {
+					break rounds
+				}
+			}
+		}
+		if s.settled(top, bound, r, verified) {
+			break
+		}
+		r *= s.c
+	}
+	finishPairs(top)
+	return top, nil
+}
+
+// cpParams bundles one closest-pair query's derived constants.
+type cpParams struct {
+	ix       *Index
+	k        int
+	c        float64
+	t        float64 // projected-radius multiplier from DeriveParams
+	budget   int     // βn + k unique-verification cap
+	maxPairs int
+	r0       float64 // initial original-space radius
+}
+
+// projCutoff maps the k-th best squared original distance to the
+// projected cutoff of the confidence-interval condition: pairs at
+// original distance <= r_k/c project within t·r_k/c w.h.p., so nothing
+// beyond that cutoff can break the (c,k) guarantee.
+func (s *cpParams) projCutoff(bound float64) float64 {
+	return s.t * math.Sqrt(bound) / s.c
+}
+
+// newRound starts one capped self-join at original-space radius r.
+func (s *cpParams) newRound(r float64, have int, bound float64) *pmtree.PairEnumerator {
+	en := s.ix.tree.NewPairEnumerator()
+	en.SetCutoff(s.t * r)
+	if have == s.k {
+		en.SetCutoff(s.projCutoff(bound))
+	}
+	return en
+}
+
+// settled reports whether the query can stop after a round at radius r:
+// either the k-th best distance lies within c·r (the CI condition — a
+// closer unseen pair would have been enumerated w.h.p.), or every pair
+// has been verified.
+func (s *cpParams) settled(top []Pair, bound, r float64, verified int) bool {
+	if len(top) == s.k && math.Sqrt(bound) <= s.c*r {
+		return true
+	}
+	return verified >= s.maxPairs
+}
+
+// cpSetup validates a closest-pair query and derives its constants. A
+// nil setup with nil error means the query trivially returns no pairs
+// (fewer than two indexed points).
+func (ix *Index) cpSetup(k int, c float64) (*cpParams, error) {
+	if ix.tree == nil {
+		return nil, fmt.Errorf("core: ClosestPairs requires the PM-tree index (not the R-tree ablation)")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if c <= 0 {
+		c = DefaultC
+	}
+	params, err := ix.DeriveParams(c)
+	if err != nil {
+		return nil, err
+	}
+	n := ix.data.Len()
+	if n < 2 {
+		return nil, nil
+	}
+	maxPairs := n * (n - 1) / 2
+	if k > maxPairs {
+		k = maxPairs
+	}
+	budget := int(math.Ceil(params.Beta*float64(n))) + k
+
+	// r0: the radius at which the empirical pair-distance distribution F
+	// predicts about budget pairs among the n(n-1)/2 total, then one
+	// c-step up. distCDF is a uniform sample of pair distances, so its
+	// quantiles estimate F⁻¹ directly — but budget/maxPairs is an
+	// extreme quantile (~10⁻⁵), where the estimate is a low-rank order
+	// statistic with noise on the order of the value itself. Unlike the
+	// KNN engine, whose rounds are cheap, a failed round here re-runs
+	// the whole self-join, so the first radius errs one enlargement
+	// step high rather than shrinking (the approximation analysis holds
+	// for any radius sequence; a wider first round only admits more
+	// candidates).
+	r0 := ix.distQuantile(float64(budget)/float64(maxPairs)) * c
+	if r0 <= 0 {
+		r0 = ix.smallestPositiveDistance()
+	}
+	return &cpParams{
+		ix:       ix,
+		k:        k,
+		c:        c,
+		t:        params.T,
+		budget:   budget,
+		maxPairs: maxPairs,
+		r0:       r0,
+	}, nil
+}
+
+// insertPair keeps cand sorted ascending by distance and capped at k
+// entries (equal distances keep first-inserted order).
+func insertPair(cand []Pair, p Pair, k int) []Pair {
+	return vec.InsertBounded(cand, p, k, func(p Pair) float64 { return p.Dist })
+}
+
+// finishPairs converts the deferred squared distances to distances.
+func finishPairs(pairs []Pair) {
+	for i := range pairs {
+		pairs[i].Dist = math.Sqrt(pairs[i].Dist)
+	}
+}

@@ -600,16 +600,7 @@ func (ix *Index) smallestPositiveDistance() float64 {
 // k entries (equal distances keep first-inserted order, matching the
 // uncapped sort-then-truncate behavior).
 func insertCandidate(cand []Result, r Result, k int) []Result {
-	i := sort.Search(len(cand), func(i int) bool { return cand[i].Dist > r.Dist })
-	if i >= k {
-		return cand
-	}
-	if len(cand) < k {
-		cand = append(cand, Result{})
-	}
-	copy(cand[i+1:], cand[i:])
-	cand[i] = r
-	return cand
+	return vec.InsertBounded(cand, r, k, func(r Result) float64 { return r.Dist })
 }
 
 // kthWithin reports whether at least k candidates lie within radius

@@ -6,6 +6,7 @@ package lscan
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -68,6 +69,59 @@ func (s *Scanner) Len() int { return len(s.data) }
 
 // Scanned returns how many points each query examines.
 func (s *Scanner) Scanned() int { return s.limit }
+
+// PairResult is one exact closest pair: two row indexes (I < J) and
+// their distance.
+type PairResult struct {
+	I, J int32
+	Dist float64
+}
+
+// ClosestPairs returns the exact k closest pairs of data by exhaustive
+// O(n²) scan — the ground truth the approximate closest-pair engine is
+// verified against. Distances are compared squared with early
+// abandonment against the running k-th best; the k square roots are
+// deferred to the end. k is clamped to the number of distinct pairs.
+func ClosestPairs(data [][]float64, k int) ([]PairResult, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("lscan: k must be positive, got %d", k)
+	}
+	n := len(data)
+	if n < 2 {
+		return nil, nil
+	}
+	// Validate every row before the pair loop: a ragged row must error,
+	// not panic inside the distance kernel the moment it appears as the
+	// second operand of a pair.
+	dim := len(data[0])
+	for i, row := range data {
+		if len(row) != dim {
+			return nil, fmt.Errorf("lscan: row %d has dimension %d, want %d", i, len(row), dim)
+		}
+	}
+	if maxPairs := n * (n - 1) / 2; k > maxPairs {
+		k = maxPairs
+	}
+	top := make([]PairResult, 0, k) // squared distances until the end
+	bound := math.Inf(1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d2 := vec.SquaredL2Bounded(data[i], data[j], bound)
+			if len(top) == k && d2 >= bound {
+				continue
+			}
+			top = vec.InsertBounded(top, PairResult{I: int32(i), J: int32(j), Dist: d2}, k,
+				func(p PairResult) float64 { return p.Dist })
+			if len(top) == k {
+				bound = top[k-1].Dist
+			}
+		}
+	}
+	for i := range top {
+		top[i].Dist = math.Sqrt(top[i].Dist)
+	}
+	return top, nil
+}
 
 // KNN returns the exact k nearest among the scanned subset, sorted by
 // distance.

@@ -152,3 +152,56 @@ func TestDeterministicOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestClosestPairsBruteForce(t *testing.T) {
+	data := randData(150, 6, 13)
+	const k = 12
+	got, err := ClosestPairs(data, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: full pair sort without early abandonment.
+	type pr struct {
+		i, j int
+		d    float64
+	}
+	var all []pr
+	for i := range data {
+		for j := i + 1; j < len(data); j++ {
+			all = append(all, pr{i, j, vec.L2(data[i], data[j])})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+	if len(got) != k {
+		t.Fatalf("got %d pairs, want %d", len(got), k)
+	}
+	for i, p := range got {
+		if math.Abs(p.Dist-all[i].d) > 1e-9 {
+			t.Fatalf("rank %d: %v, want %v", i, p.Dist, all[i].d)
+		}
+		if p.I >= p.J {
+			t.Fatalf("rank %d: ids not ordered: %+v", i, p)
+		}
+	}
+
+	if _, err := ClosestPairs(data, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	res, err := ClosestPairs(data[:1], 5)
+	if err != nil || res != nil {
+		t.Errorf("single point: %v %v", res, err)
+	}
+	res, err = ClosestPairs(data[:3], 100)
+	if err != nil || len(res) != 3 {
+		t.Errorf("clamp to all pairs: %v %v", res, err)
+	}
+}
+
+func TestClosestPairsRaggedInput(t *testing.T) {
+	// A ragged row must produce an error even when it first appears as
+	// the second operand of a pair, not a panic from the kernel.
+	ragged := [][]float64{{1, 2}, {3, 4}, {5}}
+	if _, err := ClosestPairs(ragged, 1); err == nil {
+		t.Error("ragged input should fail")
+	}
+}

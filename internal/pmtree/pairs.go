@@ -1,0 +1,428 @@
+package pmtree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/vec"
+)
+
+// This file implements the dual-branch self-join traversal behind
+// closest-pair search (the journal extension of PM-LSH generalizes the
+// tree-over-projections design from (c,k)-ANN to (c,k)-closest-pair
+// search): a best-first enumeration of the unordered pairs of indexed
+// points in nondecreasing order of their exact distance in the tree's
+// (projected) space.
+//
+// The enumerator maintains a priority queue whose items are:
+//
+//   - node pairs (A, B): two subtrees, keyed by a lower bound on the
+//     distance between any point below A and any point below B — the
+//     M-tree ball bound max(0, d(RO_A, RO_B) − r_A − r_B) sharpened by
+//     the hyper-ring gap max_i gap(HR_A[i], HR_B[i]);
+//   - entry pairs (o_1, o_2): two leaf entries keyed by their exact
+//     distance, computed when the leaf pair is expanded. The pivot
+//     lower bound max_i |d(o_1, p_i) − d(o_2, p_i)| (free: leaf entries
+//     precompute their pivot distances) pre-filters pairs that already
+//     exceed the cutoff, and pairs whose exact distance exceeds it are
+//     dropped instead of queued. Computing the exact distance eagerly
+//     is deliberate: the tree's space is the low-dimensional projected
+//     space, where one metric evaluation costs little more than the
+//     pivot bound, and self-joins live or die by keeping the O(n²)
+//     beyond-cutoff pairs out of the queue.
+//
+// Popping in bound order with ties broken toward the more refined item
+// yields every pair at most once (each node has a unique parent, so an
+// unordered pair of subtrees is generated from exactly one ancestor
+// pair) and in exactly nondecreasing exact distance.
+//
+// Hot-path layout notes: heap items are 24 pointer-free bytes (node
+// pair geometry lives in a side arena indexed by item.id1), so heap
+// swaps neither trip GC write barriers nor copy large structs;
+// zero-bound node pairs bypass the heap entirely (see stack); and each
+// leaf pair is joined by a plane sweep over cached first-coordinate-
+// sorted entry layouts (see leafJoin) instead of an O(capacity²) scan.
+type PairEnumerator struct {
+	t      *Tree
+	pq     pairHeap
+	nodes  []nodePairArena // side arena for queued node pairs
+	cutoff float64
+	done   bool
+
+	// joins caches each leaf's sweep-ready layout (entries sorted by
+	// first coordinate, pivot distances gathered alongside), keyed by
+	// the leaf's first entry row (stable and unique per leaf). A leaf
+	// participates in many leaf pairs over one enumeration, so the sort
+	// is paid once per leaf, not once per pair — and the lookup must be
+	// an array index, not a map probe, at tens of thousands of pair
+	// expansions.
+	joins []*leafJoin
+
+	// stack holds node pairs whose lower bound is zero. They sort
+	// before every other item, so expanding them LIFO off a plain stack
+	// preserves the emission order while skipping the heap's O(log n)
+	// sift per push/pop — and on heavily overlapping trees they are the
+	// majority of all node pairs.
+	stack []pairItem
+
+	// pending batches the tree's atomic statistics counters: a self-join
+	// evaluates the metric millions of times, and paying an atomic
+	// add per evaluation costs more than the 15-dimensional distance
+	// itself. Flushed on every Next return.
+	pendingDist  int64
+	pendingNodes int64
+}
+
+// leafJoin is one leaf prepared for plane-sweep joining: entry data
+// reordered ascending by first point coordinate, pivot distances
+// contiguous (entry-major, stride = pivot count).
+type leafJoin struct {
+	c0  []float64
+	piv []float64
+	row []int32
+	id  []int32
+}
+
+// PairCandidate is one pair produced by the enumerator: the ids of two
+// distinct indexed points (ID1 <= ID2) and their exact distance in the
+// tree's space.
+type PairCandidate struct {
+	ID1, ID2 int32
+	Dist     float64
+}
+
+// Item refinement kinds. Greater = more refined; on equal bounds the
+// heap pops the most refined item first, so finished pairs surface
+// before coarser items at the same bound trigger further expansion.
+const (
+	kindNodePair uint8 = iota
+	kindExactPair
+)
+
+// pairRegion is one side of a node pair: a subtree plus the routing
+// geometry that bounds it. The root has no routing entry; center == nil
+// marks "unbounded" (lower bound 0 against anything).
+type pairRegion struct {
+	n      *node
+	center []float64
+	radius float64
+	hr     []Interval
+}
+
+type nodePairArena struct{ a, b pairRegion }
+
+// pairItem is one queue element. For kindNodePair, id1 indexes the
+// enumerator's node-pair arena; for kindExactPair, id1/id2 are the
+// point ids and bound is the exact distance.
+type pairItem struct {
+	bound float64
+	id1   int32
+	id2   int32
+	kind  uint8
+}
+
+// pairHeap is a hand-rolled binary heap of pairItems (container/heap
+// would box every item in an interface, and the enumerator pushes one
+// item per surviving candidate pair).
+type pairHeap struct{ items []pairItem }
+
+func (h *pairHeap) len() int { return len(h.items) }
+
+func (h *pairHeap) less(i, j int) bool {
+	a, b := &h.items[i], &h.items[j]
+	if a.bound != b.bound {
+		return a.bound < b.bound
+	}
+	return a.kind > b.kind
+}
+
+func (h *pairHeap) push(it pairItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *pairHeap) pop() pairItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < last && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// dist evaluates the metric, counting locally (see pending fields).
+func (e *PairEnumerator) dist(a, b []float64) float64 {
+	e.pendingDist++
+	return vec.L2(a, b)
+}
+
+// flushStats moves the batched counters into the tree's atomics.
+func (e *PairEnumerator) flushStats() {
+	if e.pendingDist > 0 {
+		e.t.distCalcs.Add(e.pendingDist)
+		e.pendingDist = 0
+	}
+	if e.pendingNodes > 0 {
+		e.t.nodeAccesses.Add(e.pendingNodes)
+		e.pendingNodes = 0
+	}
+}
+
+// NewPairEnumerator starts a pair enumeration over the tree. The
+// enumerator reads the tree without modifying it (beyond the shared
+// statistics counters) but must not be used concurrently with Insert,
+// like every query; concurrent enumerations and range/kNN queries are
+// fine. A tree with fewer than two points enumerates nothing.
+func (t *Tree) NewPairEnumerator() *PairEnumerator {
+	e := &PairEnumerator{t: t, cutoff: math.Inf(1)}
+	if t.count >= 2 {
+		root := pairRegion{n: t.root, radius: math.Inf(1)}
+		e.expand(root, root)
+	}
+	return e
+}
+
+// SetCutoff caps the enumeration: pairs with distance above cutoff are
+// never returned, which lets the traversal prune subtree pairs whose
+// lower bound already exceeds it. The cutoff can only shrink; calls
+// with a larger value are ignored. After Next returns false the
+// enumeration is finished for good — every remaining pair (if any)
+// exceeds the cutoff in force at that time.
+func (e *PairEnumerator) SetCutoff(cutoff float64) {
+	if cutoff < e.cutoff {
+		e.cutoff = cutoff
+	}
+}
+
+// Next returns the pair with the smallest exact distance not yet
+// returned, or ok == false when no pair at or below the cutoff remains.
+func (e *PairEnumerator) Next() (PairCandidate, bool) {
+	if e.done {
+		return PairCandidate{}, false
+	}
+	for {
+		// Zero-bound node pairs sort before everything; drain them LIFO
+		// before consulting the heap.
+		if len(e.stack) > 0 {
+			it := e.stack[len(e.stack)-1]
+			e.stack = e.stack[:len(e.stack)-1]
+			np := &e.nodes[it.id1]
+			e.expand(np.a, np.b)
+			continue
+		}
+		if e.pq.len() == 0 {
+			break
+		}
+		// The heap is popped in nondecreasing bound order, so a front
+		// above the cutoff means everything left is above it too.
+		if e.pq.items[0].bound > e.cutoff {
+			break
+		}
+		it := e.pq.pop()
+		if it.kind == kindExactPair {
+			e.flushStats()
+			return PairCandidate{ID1: it.id1, ID2: it.id2, Dist: it.bound}, true
+		}
+		np := &e.nodes[it.id1]
+		e.expand(np.a, np.b)
+	}
+	e.done = true
+	e.flushStats()
+	return PairCandidate{}, false
+}
+
+// expand replaces the node pair (a, b) with finer-grained items.
+// Descending one side at a time (the inner node with the larger radius)
+// keeps bounds tight; a self pair must descend both sides at once so
+// every unordered child pair — including child self pairs — is
+// generated exactly once.
+func (e *PairEnumerator) expand(a, b pairRegion) {
+	e.pendingNodes++
+	if a.n.leaf && b.n.leaf {
+		e.expandLeafPair(a.n, b.n)
+		return
+	}
+	if a.n == b.n {
+		rt := a.n.routing
+		for i := range rt {
+			ri := regionOf(&rt[i])
+			e.pushNodes(ri, ri)
+			for j := i + 1; j < len(rt); j++ {
+				e.pushNodes(ri, regionOf(&rt[j]))
+			}
+		}
+		return
+	}
+	// Distinct nodes: descend the inner one with the larger radius (a
+	// leaf or smaller subtree stays whole so its bound keeps pruning).
+	if a.n.leaf || (!b.n.leaf && b.radius > a.radius) {
+		a, b = b, a
+	}
+	for i := range a.n.routing {
+		e.pushNodes(regionOf(&a.n.routing[i]), b)
+	}
+}
+
+// leafJoin returns (building and caching on first use) the leaf's
+// sweep-ready layout.
+func (e *PairEnumerator) leafJoin(n *node) *leafJoin {
+	t := e.t
+	if e.joins == nil {
+		e.joins = make([]*leafJoin, t.points.Len())
+	}
+	key := n.entries[0].row
+	if lj := e.joins[key]; lj != nil {
+		return lj
+	}
+	s := len(t.pivots)
+	m := len(n.entries)
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return t.leafPoint(&n.entries[idx[a]])[0] < t.leafPoint(&n.entries[idx[b]])[0]
+	})
+	lj := &leafJoin{
+		c0:  make([]float64, m),
+		piv: make([]float64, 0, m*s),
+		row: make([]int32, m),
+		id:  make([]int32, m),
+	}
+	for i, at := range idx {
+		en := &n.entries[at]
+		lj.c0[i] = t.leafPoint(en)[0]
+		lj.piv = append(lj.piv, en.pivotDist[:s]...)
+		lj.row[i] = en.row
+		lj.id[i] = en.id
+	}
+	e.joins[key] = lj
+	return lj
+}
+
+// expandLeafPair emits the qualifying entry pairs of two leaves (na may
+// equal nb: the self-join case enumerates each unordered pair once) by
+// a plane sweep over the first coordinate: with both leaves sorted by
+// it, only pairs whose coordinate gap — a distance lower bound free of
+// the radial concentration pivot distances suffer — is within the
+// cutoff are touched at all. Survivors then reject on the per-pivot
+// bounds and finally the exact squared distance.
+func (e *PairEnumerator) expandLeafPair(na, nb *node) {
+	a := e.leafJoin(na)
+	b := a
+	if na != nb {
+		b = e.leafJoin(nb)
+	}
+	t := e.t
+	s := len(t.pivots)
+	cutoff := e.cutoff
+	// Squared-space rejection with a rounding margin; survivors get the
+	// exact linear check below, so boundary pairs (distance == cutoff)
+	// are kept without paying a sqrt per rejected pair.
+	cutoff2 := cutoff * cutoff * (1 + 1e-14)
+	exact := int64(0)
+	lo := 0
+	for i := range a.c0 {
+		c0 := a.c0[i]
+		var jstart int
+		if na == nb {
+			jstart = i + 1 // sorted self-join: j > i covers each pair once
+		} else {
+			for lo < len(b.c0) && b.c0[lo] < c0-cutoff {
+				lo++
+			}
+			jstart = lo
+		}
+		pa := a.piv[i*s : (i+1)*s]
+		pt := t.points.Row(int(a.row[i]))
+	probe:
+		for j := jstart; j < len(b.c0) && b.c0[j]-c0 <= cutoff; j++ {
+			off := j * s
+			for p := 0; p < s; p++ {
+				if d := pa[p] - b.piv[off+p]; d > cutoff || -d > cutoff {
+					continue probe
+				}
+			}
+			exact++
+			d2 := vec.SquaredL2(pt, t.points.Row(int(b.row[j])))
+			if d2 > cutoff2 {
+				continue
+			}
+			d := math.Sqrt(d2)
+			if d > cutoff {
+				continue
+			}
+			id1, id2 := a.id[i], b.id[j]
+			if id2 < id1 {
+				id1, id2 = id2, id1
+			}
+			e.pq.push(pairItem{bound: d, kind: kindExactPair, id1: id1, id2: id2})
+		}
+	}
+	e.pendingDist += exact
+}
+
+func regionOf(r *routingEntry) pairRegion {
+	return pairRegion{n: r.child, center: r.center, radius: r.radius, hr: r.hr}
+}
+
+func (e *PairEnumerator) pushNodes(a, b pairRegion) {
+	bound := e.regionBound(a, b)
+	if bound > e.cutoff {
+		return
+	}
+	e.nodes = append(e.nodes, nodePairArena{a: a, b: b})
+	it := pairItem{bound: bound, kind: kindNodePair, id1: int32(len(e.nodes) - 1)}
+	if bound == 0 {
+		e.stack = append(e.stack, it)
+		return
+	}
+	e.pq.push(it)
+}
+
+// regionBound lower-bounds the distance between any point below a and
+// any point below b: the routing-ball bound sharpened by the per-pivot
+// hyper-ring gaps (points below a subtree have pivot distances inside
+// its rings, so disjoint rings keep the subtrees at least the gap
+// apart).
+func (e *PairEnumerator) regionBound(a, b pairRegion) float64 {
+	if a.n == b.n || a.center == nil || b.center == nil {
+		return 0
+	}
+	lb := e.dist(a.center, b.center) - a.radius - b.radius
+	if lb < 0 {
+		lb = 0
+	}
+	for i := range a.hr {
+		if g := a.hr[i].Min - b.hr[i].Max; g > lb {
+			lb = g
+		}
+		if g := b.hr[i].Min - a.hr[i].Max; g > lb {
+			lb = g
+		}
+	}
+	return lb
+}

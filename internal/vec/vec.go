@@ -9,7 +9,10 @@
 // checks are hoisted).
 package vec
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Dot returns the inner product of a and b.
 // It panics if the lengths differ.
@@ -147,6 +150,25 @@ func SquaredL2ToMany(dst []float64, q, flat []float64, dim int) []float64 {
 		dst[r] = SquaredL2(q, flat[r*dim:(r+1)*dim:(r+1)*dim])
 	}
 	return dst
+}
+
+// InsertBounded inserts x into s — sorted ascending by key — keeping s
+// capped at k elements. Equal keys keep first-inserted order, matching
+// the uncapped sort-then-truncate behavior; an x that cannot enter the
+// top k leaves s unchanged. It is the one shared implementation of the
+// bounded top-k insertion every query path's verifier uses.
+func InsertBounded[T any](s []T, x T, k int, key func(T) float64) []T {
+	i := sort.Search(len(s), func(j int) bool { return key(s[j]) > key(x) })
+	if i >= k {
+		return s
+	}
+	if len(s) < k {
+		var zero T
+		s = append(s, zero)
+	}
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
 }
 
 // L1 returns the Manhattan distance between a and b.

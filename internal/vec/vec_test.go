@@ -181,3 +181,32 @@ func TestMinMax(t *testing.T) {
 		t.Error("MinMax(nil) should be nil,nil")
 	}
 }
+
+func TestInsertBounded(t *testing.T) {
+	type item struct{ d float64 }
+	key := func(x item) float64 { return x.d }
+	var s []item
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		s = InsertBounded(s, item{d}, 3, key)
+	}
+	if len(s) != 3 || s[0].d != 1 || s[1].d != 2 || s[2].d != 3 {
+		t.Errorf("top-3: %+v", s)
+	}
+	// Beyond-cap insert leaves the slice unchanged.
+	s = InsertBounded(s, item{9}, 3, key)
+	if len(s) != 3 || s[2].d != 3 {
+		t.Errorf("cap breached: %+v", s)
+	}
+	// Equal keys keep first-inserted order.
+	type tagged struct {
+		d   float64
+		tag int
+	}
+	var ts []tagged
+	ts = InsertBounded(ts, tagged{1, 0}, 3, func(x tagged) float64 { return x.d })
+	ts = InsertBounded(ts, tagged{1, 1}, 3, func(x tagged) float64 { return x.d })
+	ts = InsertBounded(ts, tagged{1, 2}, 3, func(x tagged) float64 { return x.d })
+	if ts[0].tag != 0 || ts[1].tag != 1 || ts[2].tag != 2 {
+		t.Errorf("tie order: %+v", ts)
+	}
+}

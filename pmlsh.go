@@ -14,11 +14,24 @@ type Neighbor struct {
 	Dist float64
 }
 
+// Pair is one closest-pair result: the ids of two distinct indexed
+// points (I < J) and their exact Euclidean distance.
+type Pair struct {
+	I, J int32
+	Dist float64
+}
+
 // QueryStats describes the work one query performed: the number of
 // projected range-query rounds, the number of original-space distance
 // verifications, the projected-space metric evaluations inside the
 // tree, and the final search radius.
 type QueryStats = core.QueryStats
+
+// CPStats describes the work one closest-pair query performed: the
+// number of candidate pairs consumed from the projected-space
+// self-join, the number of exact distance verifications, and the
+// projected-space metric evaluations inside the tree.
+type CPStats = core.CPStats
 
 // Params are the derived confidence-interval constants for a given
 // approximation ratio c (Eq. 10 of the paper): the projected-radius
@@ -51,9 +64,9 @@ type Config struct {
 	UseRTree bool
 }
 
-// Index is a PM-LSH index. Queries (KNN, BallCover) are safe for
-// concurrent use; Insert is a single-writer operation and must not
-// overlap queries or other inserts.
+// Index is a PM-LSH index. Queries (KNN, BallCover, ClosestPairs) are
+// safe for concurrent use; Insert is a single-writer operation and must
+// not overlap queries or other inserts.
 type Index struct {
 	ix *core.Index
 }
@@ -130,6 +143,42 @@ func (x *Index) KNNBatch(qs [][]float64, k int, c float64) ([][]Neighbor, error)
 	return out, err
 }
 
+// ClosestPairs answers a (c,k)-closest-pair query: it returns up to k
+// pairs of distinct indexed points such that, with constant
+// probability, the i-th returned distance is within factor c of the
+// exact i-th closest pair distance. Results are sorted by distance and
+// each unordered pair appears at most once. c must exceed 1; c <= 0
+// selects the default 1.5. k is clamped to the number of distinct
+// pairs, and an index with fewer than two points returns no pairs.
+//
+// The query runs a dual-branch self-join over the PM-tree in projected
+// space, so it requires the default PM-tree index; an index built with
+// UseRTree returns an error.
+func (x *Index) ClosestPairs(k int, c float64) ([]Pair, error) {
+	res, err := x.ix.ClosestPairs(k, c)
+	return convertPairs(res), err
+}
+
+// ClosestPairsWithStats is ClosestPairs plus per-query work statistics.
+// Like QueryStats, the ProjectedDistComps field is the delta of a
+// tree-wide counter and includes work from concurrently running
+// queries.
+func (x *Index) ClosestPairsWithStats(k int, c float64) ([]Pair, CPStats, error) {
+	res, st, err := x.ix.ClosestPairsWithStats(k, c)
+	return convertPairs(res), st, err
+}
+
+// ClosestPairsParallel is ClosestPairs with candidate verification
+// fanned across a worker pool of up to GOMAXPROCS goroutines
+// (mirroring KNNBatch). Termination is checked per verification batch
+// instead of per pair, so it may examine slightly more candidates than
+// ClosestPairs — the result carries the same (c,k) guarantee and is,
+// rank by rank, at least as close.
+func (x *Index) ClosestPairsParallel(k int, c float64) ([]Pair, error) {
+	res, err := x.ix.ClosestPairsParallel(k, c)
+	return convertPairs(res), err
+}
+
 // BallCover answers an (r,c)-ball-cover query (Definition 3): if some
 // point lies within r of q it returns, with constant probability, a
 // point within c·r; if no point lies within c·r it returns nil.
@@ -159,6 +208,14 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, err
 	}
 	return &Index{ix: ix}, nil
+}
+
+func convertPairs(res []core.Pair) []Pair {
+	out := make([]Pair, len(res))
+	for i, r := range res {
+		out[i] = Pair{I: r.I, J: r.J, Dist: r.Dist}
+	}
+	return out
 }
 
 func convert(res []core.Result) []Neighbor {

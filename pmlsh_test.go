@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/lscan"
 	"repro/internal/vec"
 )
 
@@ -228,5 +229,53 @@ func TestReportedDistancesExact(t *testing.T) {
 	// And sorted.
 	if !sort.SliceIsSorted(res, func(i, j int) bool { return res[i].Dist < res[j].Dist }) {
 		t.Error("results unsorted")
+	}
+}
+
+func TestClosestPairsAPI(t *testing.T) {
+	ds := testData(t, 600)
+	ix, err := Build(ds.Points, Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, c = 12, 1.5
+	exact, err := lscan.ClosestPairs(ds.Points, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, st, err := ix.ClosestPairsWithStats(k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != k || st.Verified == 0 || st.Rounds < 1 {
+		t.Fatalf("pairs=%d stats=%+v", len(pairs), st)
+	}
+	for i, p := range pairs {
+		if p.I >= p.J {
+			t.Errorf("pair %d ids not ordered: %+v", i, p)
+		}
+		if i > 0 && p.Dist < pairs[i-1].Dist {
+			t.Errorf("pair %d unsorted", i)
+		}
+		if p.Dist > c*exact[i].Dist+1e-9 {
+			t.Errorf("pair %d: %v exceeds c x exact %v", i, p.Dist, exact[i].Dist)
+		}
+	}
+	par, err := ix.ClosestPairsParallel(k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != k {
+		t.Fatalf("parallel returned %d pairs", len(par))
+	}
+	for i := range par {
+		if par[i].Dist > pairs[i].Dist+1e-9 {
+			t.Errorf("rank %d: parallel %v worse than serial %v", i, par[i].Dist, pairs[i].Dist)
+		}
+	}
+	// The plain variant matches the stats variant.
+	plain, err := ix.ClosestPairs(k, c)
+	if err != nil || len(plain) != k {
+		t.Fatalf("plain variant: %v %v", plain, err)
 	}
 }
