@@ -10,6 +10,7 @@ package pmlsh
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -222,6 +223,151 @@ func BenchmarkQueryK50(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ix.KNN(w.Queries[i%len(w.Queries)], 50, 1.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// churnQEnv lazily prepares the mutation-lifecycle comparison: one
+// index churned by deleting a random 40% (auto-compaction disabled so
+// the tombstoned state is what gets measured), one churned identically
+// and then compacted, and one built fresh over exactly the surviving
+// live set. The acceptance bar is Compacted within 10% of FreshLive.
+type churnQEnv struct {
+	once      sync.Once
+	churned   *Index
+	compacted *Index
+	fresh     *Index
+	err       error
+}
+
+var cqe churnQEnv
+
+func churnedIndexes(b *testing.B) (churned, compacted, fresh *Index) {
+	b.Helper()
+	w := workload(b)
+	cqe.once.Do(func() {
+		build := func() (*Index, map[int32]bool) {
+			ix, err := Build(w.Dataset.Points, Config{Seed: 5, AutoCompactFraction: -1})
+			if err != nil {
+				cqe.err = err
+				return nil, nil
+			}
+			rng := rand.New(rand.NewSource(131))
+			dead := make(map[int32]bool)
+			for _, id := range rng.Perm(len(w.Dataset.Points))[:4*len(w.Dataset.Points)/10] {
+				if err := ix.Delete(int32(id)); err != nil {
+					cqe.err = err
+					return nil, nil
+				}
+				dead[int32(id)] = true
+			}
+			return ix, dead
+		}
+		var dead map[int32]bool
+		cqe.churned, dead = build()
+		if cqe.err != nil {
+			return
+		}
+		cqe.compacted, _ = build()
+		if cqe.err != nil {
+			return
+		}
+		if cqe.err = cqe.compacted.Compact(); cqe.err != nil {
+			return
+		}
+		survivors := make([][]float64, 0, cqe.churned.LiveLen())
+		for i, p := range w.Dataset.Points {
+			if !dead[int32(i)] {
+				survivors = append(survivors, p)
+			}
+		}
+		cqe.fresh, cqe.err = Build(survivors, Config{Seed: 5})
+	})
+	if cqe.err != nil {
+		b.Fatal(cqe.err)
+	}
+	return cqe.churned, cqe.compacted, cqe.fresh
+}
+
+func benchQueryK50On(b *testing.B, ix *Index) {
+	w := workload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.KNN(w.Queries[i%len(w.Queries)], 50, 1.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryK50Churned measures the query after deleting 40% of
+// the dataset with compaction held off: tombstoned slots are out of
+// the tree but the covering radii stay loose, so this is the worst
+// sustained state the serving engine can be in.
+func BenchmarkQueryK50Churned(b *testing.B) {
+	churned, _, _ := churnedIndexes(b)
+	benchQueryK50On(b, churned)
+}
+
+// BenchmarkQueryK50Compacted is the same churned index after
+// Compact(): the acceptance criterion requires it within 10% of
+// BenchmarkQueryK50FreshLive.
+func BenchmarkQueryK50Compacted(b *testing.B) {
+	_, compacted, _ := churnedIndexes(b)
+	benchQueryK50On(b, compacted)
+}
+
+// BenchmarkQueryK50FreshLive is the reference: a fresh Build over
+// exactly the live set the churned/compacted indexes serve.
+func BenchmarkQueryK50FreshLive(b *testing.B) {
+	_, _, fresh := churnedIndexes(b)
+	benchQueryK50On(b, fresh)
+}
+
+// BenchmarkDelete measures one Delete (tree entry removal + tombstone)
+// on a fresh index, auto-compaction disabled; b.N deletes then rebuild.
+func BenchmarkDelete(b *testing.B) {
+	w := workload(b)
+	b.ReportAllocs()
+	var ix *Index
+	var err error
+	n := len(w.Dataset.Points)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%n == 0 {
+			b.StopTimer()
+			ix, err = Build(w.Dataset.Points, Config{Seed: 5, AutoCompactFraction: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		if err := ix.Delete(int32(i % n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompact measures a full Compact of the 40%-churned index.
+func BenchmarkCompact(b *testing.B) {
+	w := workload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ix, err := Build(w.Dataset.Points, Config{Seed: 5, AutoCompactFraction: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(131))
+		for _, id := range rng.Perm(len(w.Dataset.Points))[:4*len(w.Dataset.Points)/10] {
+			if err := ix.Delete(int32(id)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := ix.Compact(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,7 @@
 //	pmlsh query -index out.pmlsh -k 10 -c 1.5 -point "0.1,0.2,..."
 //	pmlsh cp    -index out.pmlsh -k 10 -c 1.5 [-par]
 //	pmlsh bench -index out.pmlsh -k 10 -c 1.5 -queries 100 [-par]
+//	pmlsh churn -data vectors.f64 [-ops 2000] [-delfrac 0.4] [-k 10]
 //	pmlsh info  -index out.pmlsh
 package main
 
@@ -16,6 +17,7 @@ import (
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	pmlsh "repro"
+	"repro/internal/vec"
 )
 
 func main() {
@@ -41,6 +44,8 @@ func main() {
 		err = runCP(os.Args[2:])
 	case "bench":
 		err = runBench(os.Args[2:])
+	case "churn":
+		err = runChurn(os.Args[2:])
 	case "info":
 		err = runInfo(os.Args[2:])
 	default:
@@ -54,7 +59,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pmlsh <build|query|cp|bench|info> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pmlsh <build|query|cp|bench|churn|info> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'pmlsh <subcommand> -h' for flags")
 }
 
@@ -230,6 +235,161 @@ func runBench(args []string) error {
 	return nil
 }
 
+// runChurn drives a mutable-serving workload over a dataset dump: it
+// builds an index over the dump, then interleaves Deletes of random
+// live points with Inserts of perturbed copies, measuring KNN recall
+// against an exact scan of the live set at regular checkpoints — the
+// operational proof that the index keeps answering correctly while it
+// mutates. A final Compact and checkpoint show the rebuilt state.
+func runChurn(args []string) error {
+	fs := flag.NewFlagSet("churn", flag.ExitOnError)
+	dataPath := fs.String("data", "", "raw float64 dump (datagen format)")
+	ops := fs.Int("ops", 2000, "mutation operations to run")
+	delFrac := fs.Float64("delfrac", 0.4, "probability a mutation is a Delete (rest are Inserts)")
+	k := fs.Int("k", 10, "neighbors per checkpoint query")
+	c := fs.Float64("c", 1.5, "approximation ratio")
+	queries := fs.Int("queries", 20, "checkpoint queries")
+	checkpoints := fs.Int("checkpoints", 4, "number of recall checkpoints")
+	seed := fs.Int64("seed", 1, "workload seed")
+	fs.Parse(args)
+	if *dataPath == "" {
+		return fmt.Errorf("churn requires -data")
+	}
+	if *ops < 1 || *queries < 1 || *checkpoints < 1 {
+		return fmt.Errorf("churn requires -ops, -queries and -checkpoints >= 1")
+	}
+	if *delFrac < 0 || *delFrac > 1 {
+		return fmt.Errorf("-delfrac must be in [0,1], got %v", *delFrac)
+	}
+	data, err := readDump(*dataPath)
+	if err != nil {
+		return err
+	}
+	ix, err := pmlsh.Build(data, pmlsh.Config{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	dim := ix.Dim()
+	rng := rand.New(rand.NewSource(*seed))
+
+	// The oracle tracks the live set so recall has exact ground truth.
+	live := make(map[int32][]float64, len(data))
+	liveIDs := make([]int32, 0, len(data))
+	for i, p := range data {
+		live[int32(i)] = p
+		liveIDs = append(liveIDs, int32(i))
+	}
+	// removeAt swap-removes liveIDs[i]; the caller already drew i, so
+	// no scan is needed.
+	removeAt := func(i int) {
+		delete(live, liveIDs[i])
+		liveIDs[i] = liveIDs[len(liveIDs)-1]
+		liveIDs = liveIDs[:len(liveIDs)-1]
+	}
+
+	checkpoint := func(label string) error {
+		if len(live) == 0 {
+			fmt.Printf("%s: live=0, nothing to query\n", label)
+			return nil
+		}
+		kk := *k
+		if kk > len(live) {
+			kk = len(live)
+		}
+		var recallSum float64
+		var elapsed time.Duration
+		for qi := 0; qi < *queries; qi++ {
+			q := live[liveIDs[rng.Intn(len(liveIDs))]]
+			start := time.Now()
+			got, err := ix.KNN(q, kk, *c)
+			elapsed += time.Since(start)
+			if err != nil {
+				return err
+			}
+			exact := exactKNNIDs(live, q, kk)
+			hit := 0
+			for _, nb := range got {
+				if _, ok := live[nb.ID]; !ok {
+					return fmt.Errorf("query returned deleted id %d", nb.ID)
+				}
+				if exact[nb.ID] {
+					hit++
+				}
+			}
+			recallSum += float64(hit) / float64(kk)
+		}
+		fmt.Printf("%s: ids=%d live=%d recall@%d=%.3f mean-latency=%v\n",
+			label, ix.Len(), ix.LiveLen(), kk, recallSum/float64(*queries),
+			(elapsed / time.Duration(*queries)).Round(time.Microsecond))
+		return nil
+	}
+
+	if err := checkpoint("start"); err != nil {
+		return err
+	}
+	every := *ops / *checkpoints
+	if every < 1 {
+		every = 1
+	}
+	for op := 1; op <= *ops; op++ {
+		if rng.Float64() < *delFrac && len(liveIDs) > 1 {
+			i := rng.Intn(len(liveIDs))
+			if err := ix.Delete(liveIDs[i]); err != nil {
+				return err
+			}
+			removeAt(i)
+		} else {
+			base := data[rng.Intn(len(data))]
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = base[j] + 0.05*rng.NormFloat64()
+			}
+			id, err := ix.Insert(p)
+			if err != nil {
+				return err
+			}
+			live[id] = p
+			liveIDs = append(liveIDs, id)
+		}
+		if op%every == 0 {
+			if err := checkpoint(fmt.Sprintf("after %d ops", op)); err != nil {
+				return err
+			}
+		}
+	}
+	start := time.Now()
+	if err := ix.Compact(); err != nil {
+		return err
+	}
+	fmt.Printf("compact took %v\n", time.Since(start).Round(time.Millisecond))
+	return checkpoint("after compact")
+}
+
+// exactKNNIDs brute-forces the k nearest live points to q.
+func exactKNNIDs(live map[int32][]float64, q []float64, k int) map[int32]bool {
+	type cand struct {
+		id int32
+		d  float64
+	}
+	top := make([]cand, 0, k)
+	bound := math.Inf(1)
+	for id, p := range live {
+		d := vec.SquaredL2Bounded(q, p, bound)
+		if len(top) == k && d >= bound {
+			continue
+		}
+		top = vec.InsertBounded(top, cand{id: id, d: d}, k, func(c cand) float64 { return c.d })
+		if len(top) == k {
+			bound = top[k-1].d
+		}
+	}
+	out := make(map[int32]bool, len(top))
+	for _, c := range top {
+		out[c.id] = true
+	}
+	return out
+}
+
 func runInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	indexPath := fs.String("index", "", "index file")
@@ -241,7 +401,8 @@ func runInfo(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("points:     %d\n", ix.Len())
+	fmt.Printf("ids:        %d\n", ix.Len())
+	fmt.Printf("live:       %d\n", ix.LiveLen())
 	fmt.Printf("dimensions: %d\n", ix.Dim())
 	fmt.Printf("projected:  %d\n", ix.M())
 	p, err := ix.DeriveParams(1.5)

@@ -55,13 +55,47 @@
 // near-copies are exactly the closest pairs (see examples/dedup). The
 // R-tree ablation (Config.UseRTree) does not support the self-join.
 //
+// # Mutation lifecycle
+//
+// The index is mutable in place — the serving loop of insert, delete,
+// query and compact needs no rebuilds and no downtime:
+//
+//	id, err := index.Insert(point) // fresh id from a monotone counter
+//	err = index.Delete(id)         // retires the id, tombstones the row
+//	err = index.Compact()          // repacks storage, re-bulk-loads the tree
+//	index.Len()                    // ids ever assigned
+//	index.LiveLen()                // live points
+//	index.IsLive(id)               // per-id liveness
+//
+// Ids are stable: they are never reused and never remapped, not by
+// Delete and not by Compact, so an id a caller holds refers to the
+// same point for the index's lifetime. Delete removes the point's
+// entry from the projected-space tree physically (covering radii stay
+// conservative) and tombstones its row in the vector store; the slot
+// is recycled by a later Insert, so sustained churn does not grow
+// memory. Queries never return a deleted point.
+//
+// Deletions leave the tree's covering regions looser than a fresh
+// build would make them, so query cost creeps up under heavy churn.
+// Compact — called explicitly, or automatically once the tombstoned
+// share of the store reaches Config.AutoCompactFraction (default
+// 0.3) — rebuilds via the bulk loader over exactly the live set,
+// restoring fresh-build query cost. Serialization (WriteTo/Load)
+// persists the full lifecycle state: tombstones, retired ids and the
+// slot-recycling order; streams from earlier versions still load.
+//
 // # Queries and concurrency
 //
-// KNN, KNNWithStats, KNNBatch, BallCover and ClosestPairs are safe for
-// concurrent use; Insert is single-writer and must not overlap them.
-// KNNBatch fans a query slice across a worker pool of up to GOMAXPROCS
-// goroutines and returns per-query results in input order — the
-// throughput-oriented entry point for serving many concurrent readers:
+// Every method is safe for concurrent use. Queries — KNN,
+// KNNWithStats, KNNBatch, BallCover, ClosestPairs — share a reader
+// lock and run concurrently with each other; Insert, Delete and
+// Compact take the writer side and serialize against readers and one
+// another. A query therefore observes one consistent index state, and
+// a point whose Delete completed before the query began can never
+// appear in its results. KNNBatch fans a query slice across a worker
+// pool of up to GOMAXPROCS goroutines and returns per-query results in
+// input order — the throughput-oriented entry point for serving many
+// concurrent readers:
 //
 //	results, err := index.KNNBatch(queries, 10, 1.5)
 //

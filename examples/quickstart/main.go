@@ -1,5 +1,7 @@
-// Quickstart: build a PM-LSH index over random high-dimensional points
-// and answer a (c,k)-ANN query.
+// Quickstart: build a PM-LSH index over random high-dimensional points,
+// answer a (c,k)-ANN query, then exercise the mutation lifecycle —
+// delete the returned neighbors, watch them vanish from the next query,
+// and re-insert one under a fresh id.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -59,6 +61,48 @@ func main() {
 	}
 	fmt.Printf("\nquery work: %d range-query rounds, %d points verified (%.1f%% of the dataset)\n",
 		stats.Rounds, stats.Verified, 100*float64(stats.Verified)/float64(n))
+
+	// The index is mutable: Delete retires points in place (no rebuild),
+	// and queries running concurrently never see them. Drop every
+	// neighbor just returned and keep its vector for later.
+	deleted := make(map[int32][]float64, len(neighbors))
+	for _, nb := range neighbors {
+		deleted[nb.ID] = append([]float64(nil), data[nb.ID]...)
+		if err := index.Delete(nb.ID); err != nil {
+			log.Fatalf("delete: %v", err)
+		}
+	}
+	fmt.Printf("\ndeleted the %d results: %d ids assigned, %d live\n",
+		len(neighbors), index.Len(), index.LiveLen())
+
+	neighbors, err = index.KNN(query, k, c)
+	if err != nil {
+		log.Fatalf("query after delete: %v", err)
+	}
+	fmt.Println("same query over the survivors:")
+	for i, nb := range neighbors {
+		if _, gone := deleted[nb.ID]; gone {
+			log.Fatalf("deleted point %d resurfaced", nb.ID)
+		}
+		fmt.Printf("  %d. point %-6d distance %.4f\n", i+1, nb.ID, nb.Dist)
+	}
+
+	// Re-insert one deleted vector: it comes back under a fresh id (ids
+	// are never reused) and immediately wins the query again.
+	for oldID, p := range deleted {
+		newID, err := index.Insert(p)
+		if err != nil {
+			log.Fatalf("insert: %v", err)
+		}
+		fmt.Printf("\nre-inserted former point %d as id %d\n", oldID, newID)
+		break
+	}
+	neighbors, err = index.KNN(query, 1, c)
+	if err != nil {
+		log.Fatalf("query after re-insert: %v", err)
+	}
+	fmt.Printf("nearest neighbor now: point %d at distance %.4f\n",
+		neighbors[0].ID, neighbors[0].Dist)
 }
 
 func randVec(rng *rand.Rand, d int, scale float64) []float64 {

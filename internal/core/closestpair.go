@@ -76,6 +76,8 @@ func (ix *Index) ClosestPairs(k int, c float64) ([]Pair, error) {
 
 // ClosestPairsWithStats is ClosestPairs plus work statistics.
 func (ix *Index) ClosestPairsWithStats(k int, c float64) ([]Pair, CPStats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	var st CPStats
 	s, err := ix.cpSetup(k, c)
 	if err != nil || s == nil {
@@ -102,7 +104,7 @@ rounds:
 			}
 			seen[key] = true
 			st.Verified++
-			d2 := vec.SquaredL2Bounded(ix.data.Row(int(cand.ID1)), ix.data.Row(int(cand.ID2)), bound)
+			d2 := vec.SquaredL2Bounded(ix.point(cand.ID1), ix.point(cand.ID2), bound)
 			if len(top) < s.k || d2 < bound {
 				top = insertPair(top, Pair{I: cand.ID1, J: cand.ID2, Dist: d2}, s.k)
 				if len(top) == s.k {
@@ -138,6 +140,8 @@ const cpBatchSize = 256
 // variant may verify slightly more candidates than the serial one — it
 // returns pairs at least as good, under the same (c,k) guarantee.
 func (ix *Index) ClosestPairsParallel(k int, c float64) ([]Pair, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	s, err := ix.cpSetup(k, c)
 	if err != nil || s == nil {
 		return nil, err
@@ -190,7 +194,7 @@ rounds:
 							return
 						}
 						d2s[i] = vec.SquaredL2Bounded(
-							ix.data.Row(int(cands[i].ID1)), ix.data.Row(int(cands[i].ID2)), snap)
+							ix.point(cands[i].ID1), ix.point(cands[i].ID2), snap)
 					}
 				}()
 			}
@@ -277,7 +281,7 @@ func (ix *Index) cpSetup(k int, c float64) (*cpParams, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := ix.data.Len()
+	n := ix.data.Live()
 	if n < 2 {
 		return nil, nil
 	}

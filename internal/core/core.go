@@ -38,6 +38,10 @@ const (
 	DefaultAlpha1     = 1 / math.E
 	DefaultC          = 1.5 // approximation ratio
 	DefaultRMinShrink = 0.9 // "an r_min slightly smaller than r"
+
+	// DefaultAutoCompactFraction is the tombstone share at which Delete
+	// triggers an automatic Compact.
+	DefaultAutoCompactFraction = 0.3
 )
 
 // Config controls index construction.
@@ -73,6 +77,11 @@ type Config struct {
 	// Beta overrides the derived candidate fraction β (0 = derive from
 	// the confidence interval; see DeriveParams for the calibration).
 	Beta float64
+	// AutoCompactFraction is the tombstone share of the vector store at
+	// which Delete triggers an automatic Compact. 0 means
+	// DefaultAutoCompactFraction; negative disables auto-compaction;
+	// values above 1 are rejected (the fraction can never exceed 1).
+	AutoCompactFraction float64
 }
 
 func (cfg *Config) fillDefaults() {
@@ -90,6 +99,9 @@ func (cfg *Config) fillDefaults() {
 	}
 	if cfg.RMinShrink == 0 {
 		cfg.RMinShrink = DefaultRMinShrink
+	}
+	if cfg.AutoCompactFraction == 0 {
+		cfg.AutoCompactFraction = DefaultAutoCompactFraction
 	}
 }
 
@@ -132,6 +144,9 @@ type projectedIndex interface {
 	RangeSearch(q []float64, r float64) ([]Result, error)
 	// Insert adds one projected point.
 	Insert(p []float64, id int32) error
+	// Delete removes the projected point with the given id; p steers the
+	// search to the covering subtrees.
+	Delete(p []float64, id int32) error
 	// DistanceComputations returns the cumulative metric-evaluation
 	// counter.
 	DistanceComputations() int64
@@ -154,6 +169,8 @@ func (a pmAdapter) RangeSearch(q []float64, r float64) ([]Result, error) {
 
 func (a pmAdapter) Insert(p []float64, id int32) error { return a.t.Insert(p, id) }
 
+func (a pmAdapter) Delete(p []float64, id int32) error { return a.t.Delete(p, id) }
+
 func (a pmAdapter) DistanceComputations() int64 { return a.t.DistanceComputations() }
 
 // rtAdapter wraps the R-tree as a projectedIndex.
@@ -173,9 +190,23 @@ func (a rtAdapter) RangeSearch(q []float64, r float64) ([]Result, error) {
 
 func (a rtAdapter) Insert(p []float64, id int32) error { return a.t.Insert(p, id) }
 
+func (a rtAdapter) Delete(p []float64, id int32) error { return a.t.Delete(p, id) }
+
 func (a rtAdapter) DistanceComputations() int64 { return a.t.DistanceComputations() }
 
-// Index is a PM-LSH index over a fixed dataset.
+// Index is a PM-LSH index over a mutable dataset.
+//
+// Every public method is safe for concurrent use: queries (KNN,
+// KNNBatch, BallCover, ClosestPairs) share a reader lock and run
+// concurrently with each other, while Insert, Delete and Compact take
+// the writer side and serialize against readers and one another. A
+// query therefore always observes a consistent index state and never
+// returns a deleted point.
+//
+// Ids are stable: Insert assigns them from a monotone counter and they
+// are never reused or remapped — not by Delete, not by Compact. The
+// id → storage-row indirection (rowOf) is what lets Compact repack the
+// contiguous store while every caller-held id stays valid.
 type Index struct {
 	cfg  Config
 	data *store.Store // original points, one contiguous buffer
@@ -184,15 +215,28 @@ type Index struct {
 	tree *pmtree.Tree // nil when UseRTree is set
 	dim  int
 
+	// rowOf maps an assigned id to its current row in data (-1 once
+	// deleted). len(rowOf) is the id space: the next Insert gets id
+	// len(rowOf).
+	rowOf []int32
+
 	t       float64 // sqrt of upper χ²_{α1}(m) quantile
 	chi     stats.ChiSquared
 	kappa   float64   // CDF-argument calibration (see DeriveParams)
 	distCDF []float64 // sorted sample of original-space pairwise distances
 
+	// mu is the index-wide reader/writer lock behind the concurrency
+	// contract above. Internal lower-case variants assume it is held.
+	mu sync.RWMutex
+
 	// scratch pools the per-query visited marks so queries from
 	// multiple goroutines never share mutable state.
 	scratch sync.Pool
 }
+
+// point resolves an id to its vector. The caller must hold mu (either
+// side) and the id must be live.
+func (ix *Index) point(id int32) []float64 { return ix.data.Row(int(ix.rowOf[id])) }
 
 // queryScratch holds one query's visited marks. Marks are epoch-based
 // so the slice is reused without clearing between queries.
@@ -249,6 +293,10 @@ func BuildFromStore(s *store.Store, cfg Config) (*Index, error) {
 	if s.Len() == 0 {
 		return nil, fmt.Errorf("core: Build requires a non-empty dataset")
 	}
+	if s.Live() != s.Len() {
+		return nil, fmt.Errorf("core: BuildFromStore requires a tombstone-free store (%d of %d rows dead)",
+			s.Len()-s.Live(), s.Len())
+	}
 	cfg.fillDefaults()
 	if cfg.NumPivots < 0 {
 		return nil, fmt.Errorf("core: NumPivots must be >= 0, got %d", cfg.NumPivots)
@@ -258,6 +306,9 @@ func BuildFromStore(s *store.Store, cfg Config) (*Index, error) {
 	}
 	if cfg.RMinShrink <= 0 || cfg.RMinShrink > 1 {
 		return nil, fmt.Errorf("core: RMinShrink must be in (0,1], got %v", cfg.RMinShrink)
+	}
+	if cfg.AutoCompactFraction > 1 {
+		return nil, fmt.Errorf("core: AutoCompactFraction must be <= 1, got %v", cfg.AutoCompactFraction)
 	}
 	dim := s.Dim()
 
@@ -310,6 +361,10 @@ func BuildFromStore(s *store.Store, cfg Config) (*Index, error) {
 		kappa = xStar * paperC * paperC / (t * t)
 	}
 
+	rowOf := make([]int32, s.Len())
+	for i := range rowOf {
+		rowOf[i] = int32(i)
+	}
 	ix := &Index{
 		cfg:   cfg,
 		data:  s,
@@ -317,6 +372,7 @@ func BuildFromStore(s *store.Store, cfg Config) (*Index, error) {
 		pidx:  pidx,
 		tree:  tree,
 		dim:   dim,
+		rowOf: rowOf,
 		t:     t,
 		chi:   chi,
 		kappa: kappa,
@@ -325,40 +381,177 @@ func BuildFromStore(s *store.Store, cfg Config) (*Index, error) {
 	return ix, nil
 }
 
-// Insert adds one point to the index and returns its assigned id (the
-// next dataset position). Inserts must not run concurrently with
-// queries or other inserts; queries from multiple goroutines are safe
-// between mutations.
+// Insert adds one point to the index and returns its assigned id — the
+// next value of a monotone counter, never a reused one. Insert may run
+// concurrently with queries and other mutations; it takes the index's
+// writer lock.
 //
 // The empirical distance distribution used for r_min selection is
 // refreshed incrementally: a few distances from the new point to random
-// existing points replace random entries of the sample, so the
+// live points replace random entries of the sample, so the
 // distribution tracks drift without a full resample.
 func (ix *Index) Insert(p []float64) (int32, error) {
 	if len(p) != ix.dim {
 		return 0, fmt.Errorf("core: point has dimension %d, index expects %d", len(p), ix.dim)
 	}
-	id := int32(ix.data.Len())
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id := int32(len(ix.rowOf))
 	if err := ix.pidx.Insert(ix.proj.Project(p), id); err != nil {
 		return 0, err
 	}
-	if _, err := ix.data.Append(p); err != nil {
+	row, err := ix.data.Append(p)
+	if err != nil {
 		return 0, fmt.Errorf("core: %w", err)
 	}
+	ix.rowOf = append(ix.rowOf, row)
 
-	// Reservoir-style refresh of the distance sample.
-	if n := ix.data.Len(); n > 1 && len(ix.distCDF) > 0 {
+	// Reservoir-style refresh of the distance sample (live rows only;
+	// the bounded rejection loop gives up quietly on tombstone-heavy
+	// stores — the next Compact resamples from scratch anyway).
+	if ix.data.Live() > 1 && len(ix.distCDF) > 0 {
 		rng := rand.New(rand.NewSource(ix.cfg.Seed + int64(id)))
 		const refresh = 4
-		for i := 0; i < refresh && i < n-1; i++ {
-			other := rng.Intn(n - 1)
+		slots := ix.data.Len()
+		for done, tries := 0, 0; done < refresh && tries < 8*refresh; tries++ {
+			other := rng.Intn(slots)
+			if int32(other) == row || !ix.data.IsLive(other) {
+				continue
+			}
 			d := vec.L2(p, ix.data.Row(other))
-			slot := rng.Intn(len(ix.distCDF))
-			ix.distCDF[slot] = d
+			ix.distCDF[rng.Intn(len(ix.distCDF))] = d
+			done++
 		}
 		sort.Float64s(ix.distCDF)
 	}
 	return id, nil
+}
+
+// Delete removes the point with the given id. The id stays retired
+// forever — later Inserts get fresh ids — while the point's storage row
+// is tombstoned and recycled. When the tombstoned share of the store
+// reaches Config.AutoCompactFraction the index compacts itself before
+// returning. Delete takes the writer lock and may run concurrently
+// with queries and other mutations.
+func (ix *Index) Delete(id int32) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if id < 0 || int(id) >= len(ix.rowOf) {
+		return fmt.Errorf("core: Delete of unknown id %d (ids assigned so far: %d)", id, len(ix.rowOf))
+	}
+	row := ix.rowOf[id]
+	if row < 0 {
+		return fmt.Errorf("core: id %d is already deleted", id)
+	}
+	p := ix.data.Row(int(row))
+	if err := ix.pidx.Delete(ix.proj.Project(p), id); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := ix.data.Delete(int(row)); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	ix.rowOf[id] = -1
+	if f := ix.cfg.AutoCompactFraction; f > 0 && ix.data.DeadFraction() >= f {
+		return ix.compactLocked()
+	}
+	return nil
+}
+
+// Compact rebuilds the index over its live points: the contiguous
+// store is repacked (tombstones dropped, rows in storage order —
+// recycled slots keep their position, so this is not id order), the
+// projected-space tree is bulk loaded from scratch — restoring the
+// tight covering radii and rings deletion-era trees lose — and the
+// distance distribution is resampled. Ids are preserved. Compact takes
+// the writer lock and may run concurrently with queries and other
+// mutations.
+func (ix *Index) Compact() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.compactLocked()
+}
+
+// compactLocked is Compact with mu already held.
+func (ix *Index) compactLocked() error {
+	// idOf inverts rowOf so the repack can walk rows in order.
+	idOf := make([]int32, ix.data.Len())
+	for i := range idOf {
+		idOf[i] = -1
+	}
+	for id, row := range ix.rowOf {
+		if row >= 0 {
+			idOf[row] = int32(id)
+		}
+	}
+	live := ix.data.Live()
+	fresh, err := store.New(ix.dim)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	ids := make([]int32, 0, live)
+	for row := 0; row < ix.data.Len(); row++ {
+		if idOf[row] < 0 || !ix.data.IsLive(row) {
+			continue
+		}
+		if _, err := fresh.Append(ix.data.Row(row)); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		ids = append(ids, idOf[row])
+	}
+	rowOf := make([]int32, len(ix.rowOf))
+	for i := range rowOf {
+		rowOf[i] = -1
+	}
+	for j, id := range ids {
+		rowOf[id] = int32(j)
+	}
+
+	if live == 0 {
+		// Nothing left: reset to an empty tree. A pivot-less PM-tree (a
+		// plain M-tree) is the only option without data to pick pivots
+		// from; the next Compact with live points re-selects them.
+		if ix.cfg.UseRTree {
+			rt, err := rtree.New(ix.cfg.M, rtree.Config{Capacity: ix.cfg.Capacity})
+			if err != nil {
+				return err
+			}
+			ix.pidx, ix.tree = rtAdapter{rt}, nil
+		} else {
+			tr, err := pmtree.New(ix.cfg.M, pmtree.Config{Capacity: ix.cfg.Capacity})
+			if err != nil {
+				return err
+			}
+			ix.pidx, ix.tree = pmAdapter{tr}, tr
+		}
+		ix.data, ix.rowOf = fresh, rowOf
+		ix.sampleDistanceDistribution()
+		return nil
+	}
+
+	projected, err := ix.proj.ProjectStore(fresh)
+	if err != nil {
+		return err
+	}
+	if ix.cfg.UseRTree {
+		rt, err := rtree.BuildFromStore(projected, ids, rtree.Config{Capacity: ix.cfg.Capacity})
+		if err != nil {
+			return err
+		}
+		ix.pidx, ix.tree = rtAdapter{rt}, nil
+	} else {
+		tr, err := pmtree.BuildFromStore(projected, ids, pmtree.Config{
+			Capacity:  ix.cfg.Capacity,
+			NumPivots: ix.cfg.NumPivots,
+			PivotSeed: ix.cfg.Seed + 1,
+		})
+		if err != nil {
+			return err
+		}
+		ix.pidx, ix.tree = pmAdapter{tr}, tr
+	}
+	ix.data, ix.rowOf = fresh, rowOf
+	ix.sampleDistanceDistribution()
+	return nil
 }
 
 // sampleDistanceDistribution draws random point pairs and keeps their
@@ -367,9 +560,10 @@ func (ix *Index) Insert(p []float64) (int32, error) {
 // real datasets (Table 3) is what justifies using a global F for every
 // query point.
 func (ix *Index) sampleDistanceDistribution() {
-	n := ix.data.Len()
+	slots := ix.data.Len()
+	live := ix.data.Live()
 	samples := ix.cfg.DistSampleSize
-	maxPairs := n * (n - 1) / 2
+	maxPairs := live * (live - 1) / 2
 	if samples > maxPairs {
 		samples = maxPairs
 	}
@@ -380,9 +574,9 @@ func (ix *Index) sampleDistanceDistribution() {
 	rng := rand.New(rand.NewSource(ix.cfg.Seed + 2))
 	out := make([]float64, 0, samples)
 	for len(out) < samples {
-		i := rng.Intn(n)
-		j := rng.Intn(n)
-		if i == j {
+		i := rng.Intn(slots)
+		j := rng.Intn(slots)
+		if i == j || !ix.data.IsLive(i) || !ix.data.IsLive(j) {
 			continue
 		}
 		out = append(out, vec.L2(ix.data.Row(i), ix.data.Row(j)))
@@ -429,8 +623,30 @@ func (ix *Index) DeriveParams(c float64) (Params, error) {
 	}, nil
 }
 
-// Len returns the dataset cardinality.
-func (ix *Index) Len() int { return ix.data.Len() }
+// Len returns the size of the id space: the number of ids ever
+// assigned (every id in [0, Len()) was, at some point, a live point).
+// With no deletions this equals the dataset cardinality; use LiveLen
+// for the live count under churn.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.rowOf)
+}
+
+// LiveLen returns the number of live (not deleted) points.
+func (ix *Index) LiveLen() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.data.Live()
+}
+
+// IsLive reports whether id refers to a live (inserted and not yet
+// deleted) point.
+func (ix *Index) IsLive(id int32) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return id >= 0 && int(id) < len(ix.rowOf) && ix.rowOf[id] >= 0
+}
 
 // Dim returns the original dimensionality.
 func (ix *Index) Dim() int { return ix.dim }
@@ -442,8 +658,13 @@ func (ix *Index) M() int { return ix.cfg.M }
 func (ix *Index) T() float64 { return ix.t }
 
 // Tree exposes the underlying PM-tree (for the cost model and tests).
-// It returns nil when the index was built with UseRTree.
-func (ix *Index) Tree() *pmtree.Tree { return ix.tree }
+// It returns nil when the index was built with UseRTree. Compact
+// replaces the tree, so hold the result only while no mutations run.
+func (ix *Index) Tree() *pmtree.Tree {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree
+}
 
 // Project maps a point into the projected space.
 func (ix *Index) Project(q []float64) []float64 { return ix.proj.Project(q) }
@@ -458,11 +679,20 @@ func (ix *Index) KNN(q []float64, k int, c float64) ([]Result, error) {
 // KNNWithStats is Algorithm 2. It issues projected range queries
 // range(q′, t·r) with r = r_min, c·r_min, c²·r_min, … and terminates as
 // soon as either k candidates lie within c·r in the original space or
-// βn + k candidates have been verified.
+// βn + k candidates have been verified (n the live count).
 //
-// Queries are safe for concurrent use (per-query state is pooled); the
-// ProjectedDistComps statistic is a combined count when queries overlap.
+// Queries are safe for concurrent use (per-query state is pooled) and
+// may overlap Insert/Delete/Compact — the reader lock serializes them
+// against mutations. The ProjectedDistComps statistic is a combined
+// count when queries overlap.
 func (ix *Index) KNNWithStats(q []float64, k int, c float64) ([]Result, QueryStats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.knnWithStats(q, k, c)
+}
+
+// knnWithStats is KNNWithStats with mu already held (reader side).
+func (ix *Index) knnWithStats(q []float64, k int, c float64) ([]Result, QueryStats, error) {
 	var st QueryStats
 	if len(q) != ix.dim {
 		return nil, st, fmt.Errorf("core: query has dimension %d, index expects %d", len(q), ix.dim)
@@ -477,7 +707,10 @@ func (ix *Index) KNNWithStats(q []float64, k int, c float64) ([]Result, QuerySta
 	if err != nil {
 		return nil, st, err
 	}
-	n := ix.data.Len()
+	n := ix.data.Live()
+	if n == 0 {
+		return nil, st, nil
+	}
 	needed := int(math.Ceil(params.Beta*float64(n))) + k
 
 	// r_min: the radius at which F predicts βn + k points, shrunk a bit
@@ -488,7 +721,7 @@ func (ix *Index) KNNWithStats(q []float64, k int, c float64) ([]Result, QuerySta
 	}
 
 	qp := ix.proj.Project(q)
-	sc := ix.getScratch(n)
+	sc := ix.getScratch(len(ix.rowOf))
 	defer ix.putScratch(sc)
 	distStart := ix.pidx.DistanceComputations()
 
@@ -513,7 +746,7 @@ func (ix *Index) KNNWithStats(q []float64, k int, c float64) ([]Result, QuerySta
 			}
 			sc.marks[pr.ID] = sc.epoch
 			st.Verified++
-			d2 := vec.SquaredL2Bounded(q, ix.data.Row(int(pr.ID)), bound)
+			d2 := vec.SquaredL2Bounded(q, ix.point(pr.ID), bound)
 			if len(top) < k || d2 < bound {
 				top = insertCandidate(top, Result{ID: pr.ID, Dist: d2}, k)
 				if len(top) == k {
@@ -550,11 +783,15 @@ func (ix *Index) KNNWithStats(q []float64, k int, c float64) ([]Result, QuerySta
 // fanned across a bounded worker pool (GOMAXPROCS workers, each reusing
 // the per-query scratch pool), and out[i] holds the neighbors of qs[i].
 // The first query error, if any, is returned after all workers stop.
-// KNNBatch must not overlap Insert, like every query path.
+// KNNBatch holds the reader lock once for the whole batch (the workers
+// run lock-free inside it), so the batch observes one consistent index
+// state; mutations wait for the batch to finish.
 func (ix *Index) KNNBatch(qs [][]float64, k int, c float64) ([][]Result, error) {
 	if len(qs) == 0 {
 		return nil, nil
 	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	out := make([][]Result, len(qs))
 	errs := make([]error, len(qs))
 	workers := runtime.GOMAXPROCS(0)
@@ -572,7 +809,7 @@ func (ix *Index) KNNBatch(qs [][]float64, k int, c float64) ([][]Result, error) 
 				if i >= len(qs) {
 					return
 				}
-				out[i], errs[i] = ix.KNN(qs[i], k, c)
+				out[i], _, errs[i] = ix.knnWithStats(qs[i], k, c)
 			}
 		}()
 	}
@@ -623,7 +860,9 @@ func (ix *Index) BallCover(q []float64, r, c float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := ix.data.Len()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := ix.data.Live()
 	betaN := int(math.Ceil(params.Beta * float64(n)))
 
 	qp := ix.proj.Project(q)
@@ -634,7 +873,7 @@ func (ix *Index) BallCover(q []float64, r, c float64) (*Result, error) {
 	// Track the best candidate in squared space with early abandonment.
 	best := Result{ID: -1, Dist: math.Inf(1)}
 	for _, pr := range projRes {
-		d2 := vec.SquaredL2Bounded(q, ix.data.Row(int(pr.ID)), best.Dist)
+		d2 := vec.SquaredL2Bounded(q, ix.point(pr.ID), best.Dist)
 		if d2 < best.Dist {
 			best = Result{ID: pr.ID, Dist: d2}
 		}

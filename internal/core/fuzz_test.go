@@ -1,0 +1,79 @@
+package core
+
+// Native fuzz target for index deserialization: corrupt or truncated
+// v1–v3 streams must produce an error, never a panic or an
+// unbounded allocation. The seed corpus (testdata/fuzz/FuzzLoad plus
+// the f.Add seeds below) contains genuine v1, v2 and v3 streams —
+// including a churned v3 with tombstones and retired ids — and
+// truncated/bit-flipped variants the fuzzer mutates further.
+//
+// Run with: go test -fuzz=FuzzLoad -fuzztime=10s ./internal/core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzStreams builds one small index per format version (plus a
+// churned v3) and returns their encodings.
+func fuzzStreams(tb testing.TB) [][]byte {
+	data := clusteredData(16, 3, 2, 7)
+	ix, err := Build(data, Config{M: 3, NumPivots: 2, Seed: 7, DistSampleSize: 16})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var out [][]byte
+	for version := 1; version <= 3; version++ {
+		var buf bytes.Buffer
+		if err := ix.encode(&buf, version); err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, buf.Bytes())
+	}
+	churned, err := Build(data, Config{M: 3, NumPivots: 2, Seed: 7, DistSampleSize: 16, AutoCompactFraction: -1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, id := range []int32{1, 5, 9} {
+		if err := churned.Delete(id); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if _, err := churned.Insert(data[2]); err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := churned.WriteTo(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return append(out, buf.Bytes())
+}
+
+func FuzzLoad(f *testing.F) {
+	for _, s := range fuzzStreams(f) {
+		f.Add(s)
+		f.Add(s[:len(s)/2]) // truncated body
+		f.Add(s[:11])       // truncated header
+		flipped := append([]byte(nil), s...)
+		flipped[len(flipped)/3] ^= 0xff
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("PLS3"))
+	f.Add([]byte("PLS1garbage"))
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		ix, err := Load(bytes.NewReader(stream))
+		if err != nil {
+			return
+		}
+		// A stream that loads must yield a queryable index.
+		q := make([]float64, ix.Dim())
+		if _, err := ix.KNN(q, 3, 1.5); err != nil {
+			t.Fatalf("loaded index cannot answer: %v", err)
+		}
+		if ix.LiveLen() > ix.Len() {
+			t.Fatalf("LiveLen %d exceeds Len %d", ix.LiveLen(), ix.Len())
+		}
+	})
+}

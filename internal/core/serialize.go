@@ -16,29 +16,40 @@ import (
 
 // Binary serialization of a PM-LSH index. The stream is little-endian:
 //
-//	magic "PLS2"
+//	magic "PLS3"
 //	config: m u32 | pivots u32 | capacity u32 | alpha1 f64 | seed i64 |
-//	        sampleSize u32 | rminShrink f64 | beta f64 | useRTree u8
-//	dim u32 | n u32
+//	        sampleSize u32 | rminShrink f64 | beta f64 |
+//	        autoCompact f64 (v3) | useRTree u8
+//	dim u32 | slots u32 | nextID u32 (v3)
 //	projection rows (m × dim f64)
 //	distCDF length u32 + values
-//	data (n × dim f64, the store's flat buffer verbatim)
+//	data (slots × dim f64, the store's flat buffer verbatim —
+//	tombstoned rows keep their last values)
+//	free list (v3): u32 count + count × i32 slots, in push order
+//	rowOf (v3): nextID × i32 (id → slot, -1 = deleted)
 //	PM-tree stream (absent when useRTree: the R-tree is rebuilt from
 //	the stored projections on load, which is cheap relative to I/O)
 //
-// Version 2 marks the store-backed index layout; the byte layout is
-// unchanged from version 1 (the flat data block was already row-major),
-// so Load accepts both magics. A loaded index answers queries
-// identically to the saved one.
+// Version 3 adds the mutation-lifecycle state: the tombstone free list
+// and the id → row indirection, so an index saved mid-churn loads with
+// the same live set, the same retired ids, and the same slot-recycling
+// order for future Inserts. Versions 1 and 2 (no churn state: identity
+// id mapping, no tombstones) still load. A loaded index answers
+// queries identically to the saved one.
 
-var plsMagic = [4]byte{'P', 'L', 'S', '2'}
+var plsMagic = [4]byte{'P', 'L', 'S', '3'}
+var plsMagicV2 = [4]byte{'P', 'L', 'S', '2'}
 var plsMagicV1 = [4]byte{'P', 'L', 'S', '1'}
 
-// WriteTo serializes the index. It implements io.WriterTo.
+// WriteTo serializes the index. It implements io.WriterTo. It takes
+// the reader lock, so it may run concurrently with queries; mutations
+// wait for the snapshot to finish.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	bw := bufio.NewWriterSize(w, 1<<20)
 	cw := &countingWriter{w: bw}
-	if err := ix.encode(cw); err != nil {
+	if err := ix.encode(cw, 3); err != nil {
 		return cw.n, err
 	}
 	if err := bw.Flush(); err != nil {
@@ -47,8 +58,22 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-func (ix *Index) encode(w io.Writer) error {
-	if _, err := w.Write(plsMagic[:]); err != nil {
+// encode writes the stream at the given format version. WriteTo always
+// writes the current version; the legacy layouts exist so back-compat
+// tests (and fuzz corpora) exercise Load against genuine v1/v2 bytes.
+// Legacy versions cannot represent churn state.
+func (ix *Index) encode(w io.Writer, version int) error {
+	magic := plsMagic
+	switch version {
+	case 1:
+		magic = plsMagicV1
+	case 2:
+		magic = plsMagicV2
+	}
+	if version < 3 && (ix.data.Live() != ix.data.Len() || len(ix.rowOf) != ix.data.Len()) {
+		return fmt.Errorf("core: format v%d cannot represent tombstones or retired ids", version)
+	}
+	if _, err := w.Write(magic[:]); err != nil {
 		return fmt.Errorf("core: write magic: %w", err)
 	}
 	cfg := ix.cfg
@@ -72,11 +97,21 @@ func (ix *Index) encode(w io.Writer) error {
 	if err := binary.Write(w, binary.LittleEndian, []float64{cfg.RMinShrink, cfg.Beta}); err != nil {
 		return fmt.Errorf("core: write float config: %w", err)
 	}
+	if version >= 3 {
+		if err := binary.Write(w, binary.LittleEndian, cfg.AutoCompactFraction); err != nil {
+			return fmt.Errorf("core: write auto-compact fraction: %w", err)
+		}
+	}
 	if _, err := w.Write([]byte{useRTree}); err != nil {
 		return fmt.Errorf("core: write tree flag: %w", err)
 	}
 	if err := binary.Write(w, binary.LittleEndian, []uint32{uint32(ix.dim), uint32(ix.data.Len())}); err != nil {
 		return fmt.Errorf("core: write shape: %w", err)
+	}
+	if version >= 3 {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(ix.rowOf))); err != nil {
+			return fmt.Errorf("core: write id space: %w", err)
+		}
 	}
 	for i := 0; i < ix.cfg.M; i++ {
 		if err := binary.Write(w, binary.LittleEndian, ix.proj.Row(i)); err != nil {
@@ -95,6 +130,22 @@ func (ix *Index) encode(w io.Writer) error {
 	if err := writeFloat64s(w, ix.data.Flat()); err != nil {
 		return fmt.Errorf("core: write data: %w", err)
 	}
+	if version >= 3 {
+		free := ix.data.FreeList()
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(free))); err != nil {
+			return fmt.Errorf("core: write free-list length: %w", err)
+		}
+		if len(free) > 0 {
+			if err := binary.Write(w, binary.LittleEndian, free); err != nil {
+				return fmt.Errorf("core: write free list: %w", err)
+			}
+		}
+		if len(ix.rowOf) > 0 {
+			if err := binary.Write(w, binary.LittleEndian, ix.rowOf); err != nil {
+				return fmt.Errorf("core: write row map: %w", err)
+			}
+		}
+	}
 	if !cfg.UseRTree {
 		if _, err := ix.tree.WriteTo(w); err != nil {
 			return fmt.Errorf("core: write tree: %w", err)
@@ -110,7 +161,14 @@ func Load(r io.Reader) (*Index, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("core: read magic: %w", err)
 	}
-	if magic != plsMagic && magic != plsMagicV1 {
+	version := 3
+	switch magic {
+	case plsMagic:
+	case plsMagicV2:
+		version = 2
+	case plsMagicV1:
+		version = 1
+	default:
 		return nil, fmt.Errorf("core: bad magic %q", magic)
 	}
 	var cfg Config
@@ -136,6 +194,16 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("core: read float config: %w", err)
 	}
 	cfg.RMinShrink, cfg.Beta = fl[0], fl[1]
+	if version >= 3 {
+		if err := binary.Read(br, binary.LittleEndian, &cfg.AutoCompactFraction); err != nil {
+			return nil, fmt.Errorf("core: read auto-compact fraction: %w", err)
+		}
+		if math.IsNaN(cfg.AutoCompactFraction) || cfg.AutoCompactFraction > 1 {
+			return nil, fmt.Errorf("core: corrupt auto-compact fraction %v", cfg.AutoCompactFraction)
+		}
+	} else {
+		cfg.AutoCompactFraction = DefaultAutoCompactFraction
+	}
 	var treeFlag [1]byte
 	if _, err := io.ReadFull(br, treeFlag[:]); err != nil {
 		return nil, fmt.Errorf("core: read tree flag: %w", err)
@@ -147,19 +215,34 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("core: read shape: %w", err)
 	}
 	dim, n := int(shape[0]), int(shape[1])
-	if cfg.M < 1 || dim < 1 || n < 1 || cfg.Alpha1 <= 0 || cfg.Alpha1 >= 1 {
+	idSpace := n
+	if version >= 3 {
+		var ids uint32
+		if err := binary.Read(br, binary.LittleEndian, &ids); err != nil {
+			return nil, fmt.Errorf("core: read id space: %w", err)
+		}
+		idSpace = int(ids)
+	}
+	// v3 streams may hold zero slots (an index compacted after deleting
+	// every point); earlier versions always hold at least one row.
+	minN := 1
+	if version >= 3 {
+		minN = 0
+	}
+	if cfg.M < 1 || dim < 1 || n < minN || cfg.Alpha1 <= 0 || cfg.Alpha1 >= 1 {
 		return nil, fmt.Errorf("core: corrupt header (m=%d dim=%d n=%d α1=%v)", cfg.M, dim, n, cfg.Alpha1)
 	}
 	// Plausibility bounds before header fields size allocations: a
 	// corrupt header must produce an error, not an OOM or an overflowed
 	// make. The individual bounds keep the products below overflow, the
 	// product bounds cap the actual allocations (data n*dim, projection
-	// m*dim, distance sample).
+	// m*dim, distance sample, id map). Slots were each created by one
+	// Insert, so the id space can never be smaller.
 	if n > 1<<30 || dim > 1<<20 || cfg.M > 1<<20 ||
 		uint64(n)*uint64(dim) > 1<<32 || uint64(cfg.M)*uint64(dim) > 1<<28 ||
-		cfg.DistSampleSize > 1<<28 {
-		return nil, fmt.Errorf("core: implausible header (m=%d dim=%d n=%d sample=%d)",
-			cfg.M, dim, n, cfg.DistSampleSize)
+		cfg.DistSampleSize > 1<<28 || idSpace < n || idSpace > 1<<30 {
+		return nil, fmt.Errorf("core: implausible header (m=%d dim=%d n=%d ids=%d sample=%d)",
+			cfg.M, dim, n, idSpace, cfg.DistSampleSize)
 	}
 
 	rows := make([][]float64, cfg.M)
@@ -196,26 +279,124 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
+	// Churn state: free list (tombstones) and the id → row map. Legacy
+	// streams predate mutations, so their map is the identity.
+	rowOf := make([]int32, idSpace)
+	if version >= 3 {
+		var freeLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &freeLen); err != nil {
+			return nil, fmt.Errorf("core: read free-list length: %w", err)
+		}
+		if int(freeLen) > n {
+			return nil, fmt.Errorf("core: free list of %d slots exceeds %d rows", freeLen, n)
+		}
+		if freeLen > 0 {
+			free := make([]int32, freeLen)
+			if err := binary.Read(br, binary.LittleEndian, free); err != nil {
+				return nil, fmt.Errorf("core: read free list: %w", err)
+			}
+			// RestoreFreeList rejects out-of-range and duplicate slots.
+			if err := data.RestoreFreeList(free); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		}
+		if idSpace > 0 {
+			if err := binary.Read(br, binary.LittleEndian, rowOf); err != nil {
+				return nil, fmt.Errorf("core: read row map: %w", err)
+			}
+		}
+		// The map must be a bijection between live ids and live rows:
+		// every mapped row in range, live, and mapped only once; the
+		// mapped count then pins down full coverage.
+		rowSeen := make([]bool, n)
+		mapped := 0
+		for id, row := range rowOf {
+			if row < 0 {
+				continue
+			}
+			if int(row) >= n || !data.IsLive(int(row)) {
+				return nil, fmt.Errorf("core: id %d maps to invalid row %d", id, row)
+			}
+			if rowSeen[row] {
+				return nil, fmt.Errorf("core: row %d mapped by more than one id", row)
+			}
+			rowSeen[row] = true
+			mapped++
+		}
+		if mapped != data.Live() {
+			return nil, fmt.Errorf("core: row map covers %d rows, store has %d live", mapped, data.Live())
+		}
+	} else {
+		for i := range rowOf {
+			rowOf[i] = int32(i)
+		}
+	}
+	live := data.Live()
+
+	// identityMap: the common no-churn layout (every legacy stream, and
+	// any v3 stream saved before its first Delete).
+	identityMap := live == n && idSpace == n
+	for i := 0; identityMap && i < n; i++ {
+		identityMap = rowOf[i] == int32(i)
+	}
+
 	var pidx projectedIndex
 	var tree *pmtree.Tree
 	if cfg.UseRTree {
-		projected, err := proj.ProjectStore(data)
-		if err != nil {
-			return nil, fmt.Errorf("core: rebuild R-tree: %w", err)
+		if identityMap && n > 0 {
+			// Bulk path: one projection pass, store adopted wholesale —
+			// byte-for-byte the pre-churn load (Project and ProjectStore
+			// share ProjectTo, so geometry is identical either way).
+			projected, err := proj.ProjectStore(data)
+			if err != nil {
+				return nil, fmt.Errorf("core: rebuild R-tree: %w", err)
+			}
+			rt, err := rtree.BuildFromStore(projected, nil, rtree.Config{Capacity: cfg.Capacity})
+			if err != nil {
+				return nil, fmt.Errorf("core: rebuild R-tree: %w", err)
+			}
+			pidx = rtAdapter{rt}
+		} else {
+			// Churned stream: re-project the live rows one by one,
+			// inserting in id order (the order the saved index grew in).
+			rt, err := rtree.New(cfg.M, rtree.Config{Capacity: cfg.Capacity})
+			if err != nil {
+				return nil, fmt.Errorf("core: rebuild R-tree: %w", err)
+			}
+			for id, row := range rowOf {
+				if row < 0 {
+					continue
+				}
+				if err := rt.Insert(proj.Project(data.Row(int(row))), int32(id)); err != nil {
+					return nil, fmt.Errorf("core: rebuild R-tree: %w", err)
+				}
+			}
+			pidx = rtAdapter{rt}
 		}
-		rt, err := rtree.BuildFromStore(projected, nil, rtree.Config{Capacity: cfg.Capacity})
-		if err != nil {
-			return nil, fmt.Errorf("core: rebuild R-tree: %w", err)
-		}
-		pidx = rtAdapter{rt}
 	} else {
 		tree, err = pmtree.Read(br)
 		if err != nil {
 			return nil, fmt.Errorf("core: read tree: %w", err)
 		}
-		if tree.Len() != n || tree.Dim() != cfg.M {
+		if tree.Len() != live || tree.Dim() != cfg.M {
 			return nil, fmt.Errorf("core: tree shape %d×%d does not match index %d×%d",
-				tree.Len(), tree.Dim(), n, cfg.M)
+				tree.Len(), tree.Dim(), live, cfg.M)
+		}
+		// The tree's leaf ids must be exactly the live ids, each once —
+		// a corrupt stream mapping a leaf to a retired or out-of-range
+		// id would otherwise panic at query time instead of erroring
+		// here.
+		idSeen := make([]bool, idSpace)
+		badID := false
+		tree.WalkIDs(func(id int32) {
+			if id < 0 || int(id) >= idSpace || rowOf[id] < 0 || idSeen[id] {
+				badID = true
+				return
+			}
+			idSeen[id] = true
+		})
+		if badID {
+			return nil, fmt.Errorf("core: tree leaf ids do not match the live id set")
 		}
 		pidx = pmAdapter{tree}
 	}
@@ -237,6 +418,7 @@ func Load(r io.Reader) (*Index, error) {
 		pidx:    pidx,
 		tree:    tree,
 		dim:     dim,
+		rowOf:   rowOf,
 		t:       t,
 		chi:     chi,
 		kappa:   kappa,

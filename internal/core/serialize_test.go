@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/pmtree"
 	"repro/internal/store"
 )
 
@@ -129,37 +130,244 @@ func TestLoadRejectsCorruptStreams(t *testing.T) {
 	}
 }
 
-// Streams written before the store-backed layout carry the "PLS1"
-// magic; the byte layout is unchanged, so Load must accept them.
-func TestLoadAcceptsV1Magic(t *testing.T) {
+// Streams written before the mutation-lifecycle layout carry the
+// "PLS1"/"PLS2" magics and no churn state; Load must accept them and
+// answer identically (with an identity id map).
+func TestLoadAcceptsLegacyVersions(t *testing.T) {
 	data := clusteredData(400, 12, 4, 61)
 	orig, err := Build(data, Config{Seed: 23})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var buf bytes.Buffer
-	if _, err := orig.WriteTo(&buf); err != nil {
-		t.Fatal(err)
-	}
-	b := buf.Bytes()
-	copy(b[:4], plsMagicV1[:])
-	loaded, err := Load(bytes.NewReader(b))
-	if err != nil {
-		t.Fatalf("v1 magic rejected: %v", err)
-	}
-	q := make([]float64, 12)
-	a, err := orig.KNN(q, 5, 1.5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	c, err := loaded.KNN(q, 5, 1.5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range a {
-		if a[i] != c[i] {
-			t.Fatalf("v1-loaded index diverged at result %d", i)
+	for _, version := range []int{1, 2} {
+		var buf bytes.Buffer
+		if err := orig.encode(&buf, version); err != nil {
+			t.Fatal(err)
 		}
+		loaded, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("v%d stream rejected: %v", version, err)
+		}
+		if loaded.Len() != orig.Len() || loaded.LiveLen() != orig.LiveLen() {
+			t.Fatalf("v%d shape mismatch", version)
+		}
+		q := make([]float64, 12)
+		a, err := orig.KNN(q, 5, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := loaded.KNN(q, 5, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != c[i] {
+				t.Fatalf("v%d-loaded index diverged at result %d", version, i)
+			}
+		}
+	}
+}
+
+// Legacy formats cannot represent churn state; the legacy encoder must
+// refuse rather than drop tombstones silently.
+func TestLegacyEncodeRejectsChurnState(t *testing.T) {
+	data := clusteredData(100, 8, 3, 64)
+	ix, err := Build(data, Config{Seed: 24, AutoCompactFraction: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.encode(&buf, 2); err == nil {
+		t.Fatal("v2 encode of a tombstoned index should fail")
+	}
+}
+
+// A delete-heavy history must round-trip: the loaded index answers
+// every query identically, agrees on Len/LiveLen, keeps retired ids
+// dead, and — because the free list is persisted in order — recycles
+// storage slots for post-load Inserts exactly like the saved index.
+func TestSerializeRoundTripDeleteHeavy(t *testing.T) {
+	for _, useRTree := range []bool{false, true} {
+		data := clusteredData(600, 12, 5, 65)
+		ix, err := Build(data, Config{Seed: 25, UseRTree: useRTree, AutoCompactFraction: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(66))
+		// Interleaved churn: delete 40%, re-insert a handful.
+		for _, id := range rng.Perm(600)[:240] {
+			if err := ix.Delete(int32(id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 40; i++ {
+			if _, err := ix.Insert(data[rng.Intn(len(data))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		compare := func(label string, a, b *Index) {
+			t.Helper()
+			if a.Len() != b.Len() || a.LiveLen() != b.LiveLen() {
+				t.Fatalf("%s: shape %d/%d vs %d/%d", label, a.Len(), a.LiveLen(), b.Len(), b.LiveLen())
+			}
+			qrng := rand.New(rand.NewSource(67))
+			for trial := 0; trial < 10; trial++ {
+				q := make([]float64, 12)
+				for j := range q {
+					q[j] = qrng.NormFloat64() * 12
+				}
+				ra, err := a.KNN(q, 9, 1.5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rb, err := b.KNN(q, 9, 1.5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(ra) != len(rb) {
+					t.Fatalf("%s trial %d: %d vs %d results", label, trial, len(ra), len(rb))
+				}
+				for i := range ra {
+					if ra[i] != rb[i] {
+						t.Fatalf("%s trial %d rank %d: %+v vs %+v", label, trial, i, ra[i], rb[i])
+					}
+				}
+			}
+			if !useRTree {
+				pa, err := a.ClosestPairs(6, 1.5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pb, err := b.ClosestPairs(6, 1.5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(pa) != len(pb) {
+					t.Fatalf("%s: pair counts %d vs %d", label, len(pa), len(pb))
+				}
+				for i := range pa {
+					if pa[i] != pb[i] {
+						t.Fatalf("%s pair %d: %+v vs %+v", label, i, pa[i], pb[i])
+					}
+				}
+			}
+			// Deleted ids stay rejected after the round trip.
+			var deadID int32 = -1
+			for id, row := range a.rowOf {
+				if row < 0 {
+					deadID = int32(id)
+					break
+				}
+			}
+			if deadID >= 0 {
+				if err := b.Delete(deadID); err == nil {
+					t.Fatalf("%s: loaded index re-deleted retired id %d", label, deadID)
+				}
+			}
+			// Post-load inserts assign the same ids and recycle the same
+			// storage slots.
+			pa, err := a.Insert(data[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			pb, err := b.Insert(data[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pa != pb || a.rowOf[pa] != b.rowOf[pb] {
+				t.Fatalf("%s: post-load insert diverged: id %d row %d vs id %d row %d",
+					label, pa, a.rowOf[pa], pb, b.rowOf[pb])
+			}
+		}
+
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compare("pre-compact", ix, loaded)
+
+		if err := ix.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		buf.Reset()
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err = Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compare("post-compact", ix, loaded)
+	}
+}
+
+// A stream whose PM-tree leaf ids disagree with the id map (retired,
+// out-of-range or duplicated ids) must be rejected at load time — not
+// blow up on the first query that touches the bad entry.
+func TestLoadRejectsTreeIDMismatch(t *testing.T) {
+	for _, corrupt := range []int32{705, -4, 3} { // out of range, negative, duplicate of a live id
+		data := clusteredData(100, 6, 3, 68)
+		ix, err := Build(data, Config{Seed: 26})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Swap in a tree over the same projections with one bogus id.
+		projected, err := ix.proj.ProjectStore(ix.data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]int32, 100)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		ids[7] = corrupt
+		tr, err := pmtree.BuildFromStore(projected, ids, pmtree.Config{NumPivots: 5, PivotSeed: 27})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix.tree, ix.pidx = tr, pmAdapter{tr}
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(&buf); err == nil {
+			t.Fatalf("stream with corrupt leaf id %d accepted", corrupt)
+		}
+	}
+}
+
+// A stream whose id map aliases two ids onto one storage row must be
+// rejected even when the mapped count matches the live count.
+func TestLoadRejectsDuplicateRowMapping(t *testing.T) {
+	data := clusteredData(40, 5, 2, 69)
+	ix, err := Build(data, Config{Seed: 28, AutoCompactFraction: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	// Forge aliasing that preserves the mapped count: id 1 points at id
+	// 0's row, id 39 goes unmapped.
+	ix.rowOf[1] = ix.rowOf[0]
+	ix.rowOf[39] = -1
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("stream with duplicate row mapping accepted")
 	}
 }
 

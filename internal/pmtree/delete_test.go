@@ -1,0 +1,148 @@
+package pmtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Deleting points must remove them from every query path while leaving
+// the survivors' answers exact (range and kNN against brute force over
+// the survivors), for both bulk-loaded and insertion-grown trees.
+func TestDeleteRemovesFromQueries(t *testing.T) {
+	data := randData(400, 6, 71)
+	for _, grow := range []bool{false, true} {
+		var tr *Tree
+		var err error
+		if grow {
+			tr, err = New(6, Config{NumPivots: 3, PivotSeed: 72})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Pivotless insertion-grown tree (New has no data to pick
+			// pivots from) exercises the s=0 delete path.
+			for i, p := range data {
+				if err := tr.Insert(p, int32(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			tr, err = Build(data, nil, Config{NumPivots: 3, PivotSeed: 72})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		rng := rand.New(rand.NewSource(73))
+		alive := make(map[int32]bool, len(data))
+		for i := range data {
+			alive[int32(i)] = true
+		}
+		// Delete a random 40%.
+		for _, id := range rng.Perm(len(data))[:160] {
+			if err := tr.Delete(data[id], int32(id)); err != nil {
+				t.Fatalf("grow=%v delete %d: %v", grow, id, err)
+			}
+			delete(alive, int32(id))
+		}
+		if tr.Len() != len(alive) {
+			t.Fatalf("grow=%v: Len %d after deletes, want %d", grow, tr.Len(), len(alive))
+		}
+
+		survivors := make([][]float64, 0, len(alive))
+		ids := make([]int32, 0, len(alive))
+		for i, p := range data {
+			if alive[int32(i)] {
+				survivors = append(survivors, p)
+				ids = append(ids, int32(i))
+			}
+		}
+		for trial := 0; trial < 10; trial++ {
+			q := data[rng.Intn(len(data))]
+			want := bruteRange(survivors, q, 8)
+			for i := range want {
+				want[i].ID = ids[want[i].ID]
+			}
+			got, err := tr.RangeSearch(q, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameResults(got, want) {
+				t.Fatalf("grow=%v trial %d: range diverged from survivor brute force", grow, trial)
+			}
+			kGot, err := tr.KNNSearch(q, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kWant := bruteKNN(survivors, q, 7)
+			for i := range kWant {
+				kWant[i].ID = ids[kWant[i].ID]
+			}
+			if !sameResults(kGot, kWant) {
+				t.Fatalf("grow=%v trial %d: kNN diverged from survivor brute force", grow, trial)
+			}
+		}
+	}
+}
+
+func TestDeleteErrors(t *testing.T) {
+	data := randData(50, 4, 74)
+	tr, err := Build(data, nil, Config{NumPivots: 2, PivotSeed: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete([]float64{1, 2}, 0); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if err := tr.Delete(data[0], 999); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if err := tr.Delete(data[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete(data[0], 0); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+// Delete frees the store row, a later Insert recycles it, and the pair
+// enumerator never emits deleted points — including from leaves
+// emptied entirely.
+func TestDeleteRecyclesRowsAndPairEnumeration(t *testing.T) {
+	data := randData(120, 5, 76)
+	tr, err := Build(data, nil, Config{NumPivots: 2, PivotSeed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := tr.points.Len()
+	rng := rand.New(rand.NewSource(78))
+	dead := map[int32]bool{}
+	// Empty out a whole leaf's worth of nearby points plus a random set.
+	for _, id := range rng.Perm(len(data))[:70] {
+		if err := tr.Delete(data[id], int32(id)); err != nil {
+			t.Fatal(err)
+		}
+		dead[int32(id)] = true
+	}
+	if tr.points.Live() != tr.Len() {
+		t.Fatalf("store live %d != tree len %d", tr.points.Live(), tr.Len())
+	}
+	// Re-insert new points: rows must be recycled, not grown.
+	for i := 0; i < 30; i++ {
+		if err := tr.Insert(data[i], int32(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.points.Len() != slots {
+		t.Fatalf("store grew to %d slots, want recycled %d", tr.points.Len(), slots)
+	}
+	en := tr.NewPairEnumerator()
+	for {
+		cand, ok := en.Next()
+		if !ok {
+			break
+		}
+		if dead[cand.ID1] || dead[cand.ID2] {
+			t.Fatalf("enumerator emitted deleted id: %+v", cand)
+		}
+	}
+}

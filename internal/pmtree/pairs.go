@@ -331,6 +331,11 @@ func (e *PairEnumerator) leafJoin(n *node) *leafJoin {
 // cutoff are touched at all. Survivors then reject on the per-pivot
 // bounds and finally the exact squared distance.
 func (e *PairEnumerator) expandLeafPair(na, nb *node) {
+	// Deletions can leave leaves empty; they contribute no pairs (and
+	// leafJoin keys off the first entry, so they must not reach it).
+	if len(na.entries) == 0 || len(nb.entries) == 0 {
+		return
+	}
 	a := e.leafJoin(na)
 	b := a
 	if na != nb {

@@ -14,10 +14,11 @@
 // With s = 0 pivots the structure degrades gracefully to a plain
 // M-tree, which the parameter study of Fig. 6(a) exploits.
 //
-// The implementation is single-writer: Build and Insert must not be
-// called concurrently with queries. Queries themselves are read-only
-// but share the distance-computation counter, so concurrent queries
-// get a combined count.
+// The implementation is single-writer: Build, Insert and Delete must
+// not be called concurrently with queries (the index layer above holds
+// a reader/writer lock). Queries themselves are read-only but share
+// the distance-computation counter, so concurrent queries get a
+// combined count.
 package pmtree
 
 import (
@@ -215,6 +216,24 @@ func BuildFromStore(s *store.Store, ids []int32, cfg Config) (*Tree, error) {
 // Len returns the number of indexed points.
 func (t *Tree) Len() int { return t.count }
 
+// WalkIDs calls fn with every indexed point's id (the deserialization
+// loader uses it to validate leaf ids against the index's id map).
+func (t *Tree) WalkIDs(fn func(id int32)) {
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n.leaf {
+			for i := range n.entries {
+				fn(n.entries[i].id)
+			}
+			return
+		}
+		for i := range n.routing {
+			rec(n.routing[i].child)
+		}
+	}
+	rec(t.root)
+}
+
 // Dim returns the dimensionality of indexed points.
 func (t *Tree) Dim() int { return t.dim }
 
@@ -347,6 +366,100 @@ func (t *Tree) insert(n *node, parentCenter []float64, p []float64, id int32, pd
 		return t.splitInner(n)
 	}
 	return nil, nil
+}
+
+// Delete removes the point with the given id from the tree. p must be
+// the point's coordinates: they steer the search, since only subtrees
+// whose ball and hyper-rings cover p can hold it. The leaf entry is
+// removed physically and its row in the tree's point store is freed
+// for reuse by a later Insert; covering radii and rings are not
+// shrunk — they stay conservative, so every query bound remains
+// valid, just looser. Rebuild (bulk load) to re-tighten them.
+//
+// The hyper-ring tests are float-exact (rings are unions of the very
+// pivot distances recomputed here), but upper-level covering radii
+// are d(parent, child) + r_child sums whose rounding is independent
+// of the point's own distance, so the guided descent can miss a
+// boundary point by an ulp. A guided miss therefore falls back to an
+// exhaustive scan before the id is declared missing — Delete of a
+// live id never fails.
+func (t *Tree) Delete(p []float64, id int32) error {
+	if len(p) != t.dim {
+		return fmt.Errorf("pmtree: point has dimension %d, tree expects %d", len(p), t.dim)
+	}
+	pd := t.pivotDistances(p)
+	if !t.deleteIn(t.root, p, pd, id) && !t.deleteScan(t.root, id) {
+		return fmt.Errorf("pmtree: id %d not found", id)
+	}
+	t.count--
+	return nil
+}
+
+// removeEntry drops leaf entry i of n and frees its store row.
+func (t *Tree) removeEntry(n *node, i int) {
+	if err := t.points.Delete(int(n.entries[i].row)); err != nil {
+		// Unreachable: each row is referenced by exactly one live leaf
+		// entry.
+		panic(fmt.Sprintf("pmtree: freeing row of id %d: %v", n.entries[i].id, err))
+	}
+	last := len(n.entries) - 1
+	n.entries[i] = n.entries[last]
+	n.entries = n.entries[:last]
+}
+
+// deleteScan is the unguided fallback: visit every leaf.
+func (t *Tree) deleteScan(n *node, id int32) bool {
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].id == id {
+				t.removeEntry(n, i)
+				return true
+			}
+		}
+		return false
+	}
+	for i := range n.routing {
+		if t.deleteScan(n.routing[i].child, id) {
+			return true
+		}
+	}
+	return false
+}
+
+// deleteIn searches every subtree whose region covers p for the leaf
+// entry with the given id and removes it. Empty leaves are left in
+// place (queries iterate zero entries); their routing entries keep
+// pruning as before.
+func (t *Tree) deleteIn(n *node, p []float64, pd []float64, id int32) bool {
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].id == id {
+				t.removeEntry(n, i)
+				return true
+			}
+		}
+		return false
+	}
+	for i := range n.routing {
+		e := &n.routing[i]
+		if t.dist(p, e.center) > e.radius {
+			continue
+		}
+		covered := true
+		for k, d := range pd {
+			if !e.hr[k].contains(d) {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		if t.deleteIn(e.child, p, pd, id) {
+			return true
+		}
+	}
+	return false
 }
 
 // adoptEntry sets the parent distance of e relative to the node's

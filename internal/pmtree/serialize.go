@@ -13,7 +13,7 @@ import (
 // Binary serialization of the tree structure. The format is
 // little-endian and versioned:
 //
-//	magic "PMT1" | dim u32 | capacity u32 | count u32 | pivots u32
+//	magic "PMT2" | dim u32 | capacity u32 | count u32 | pivots u32
 //	pivot points (pivots × dim f64)
 //	recursive node encoding:
 //	  leaf flag u8 | entry count u32
@@ -23,8 +23,13 @@ import (
 //
 // Loading a stream reproduces the exact tree (same splits, same
 // counters at zero), so a saved index answers queries identically.
+//
+// Version 2 admits leaf nodes with zero entries, which deletions can
+// leave behind; the byte layout is otherwise identical to version 1,
+// so Read accepts both magics.
 
-var pmtMagic = [4]byte{'P', 'M', 'T', '1'}
+var pmtMagic = [4]byte{'P', 'M', 'T', '2'}
+var pmtMagicV1 = [4]byte{'P', 'M', 'T', '1'}
 
 // WriteTo serializes the tree. It implements io.WriterTo.
 func (t *Tree) WriteTo(w io.Writer) (int64, error) {
@@ -110,7 +115,7 @@ func Read(r io.Reader) (*Tree, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("pmtree: read magic: %w", err)
 	}
-	if magic != pmtMagic {
+	if magic != pmtMagic && magic != pmtMagicV1 {
 		return nil, fmt.Errorf("pmtree: bad magic %q", magic)
 	}
 	hdr := make([]uint32, 4)
@@ -173,7 +178,9 @@ func (t *Tree) decodeNode(r io.Reader, numPivots int) (*node, error) {
 	if err := binary.Read(r, binary.LittleEndian, &cnt); err != nil {
 		return nil, fmt.Errorf("pmtree: read entry count: %w", err)
 	}
-	if int(cnt) > t.capacity || cnt == 0 {
+	// Leaves may be empty (deletions leave them behind); inner nodes
+	// never are.
+	if int(cnt) > t.capacity || (cnt == 0 && flag[0] != 1) {
 		return nil, fmt.Errorf("pmtree: corrupt entry count %d (capacity %d)", cnt, t.capacity)
 	}
 	n := &node{leaf: flag[0] == 1}

@@ -1,0 +1,101 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Deleting points must remove them from range and incremental-NN
+// queries while keeping survivor answers exact; rows are recycled by
+// later Inserts.
+func TestDeleteRemovesFromQueries(t *testing.T) {
+	data := randData(400, 5, 81)
+	tr, err := Build(data, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(82))
+	alive := make(map[int32]bool, len(data))
+	for i := range data {
+		alive[int32(i)] = true
+	}
+	for _, id := range rng.Perm(len(data))[:160] {
+		if err := tr.Delete(data[id], int32(id)); err != nil {
+			t.Fatalf("delete %d: %v", id, err)
+		}
+		delete(alive, int32(id))
+	}
+	if tr.Len() != len(alive) || tr.points.Live() != len(alive) {
+		t.Fatalf("len=%d storeLive=%d want %d", tr.Len(), tr.points.Live(), len(alive))
+	}
+
+	survivors := make([][]float64, 0, len(alive))
+	ids := make([]int32, 0, len(alive))
+	for i, p := range data {
+		if alive[int32(i)] {
+			survivors = append(survivors, p)
+			ids = append(ids, int32(i))
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		q := data[rng.Intn(len(data))]
+		want := bruteRange(survivors, q, 9)
+		for i := range want {
+			want[i].ID = ids[want[i].ID]
+		}
+		got, err := tr.RangeSearch(q, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID || math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				t.Fatalf("trial %d result %d: %+v vs %+v", trial, i, got[i], want[i])
+			}
+		}
+		knn, err := tr.KNNSearch(q, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range knn {
+			if !alive[r.ID] {
+				t.Fatalf("kNN returned deleted id %d", r.ID)
+			}
+		}
+	}
+
+	// Rows recycle: inserting as many points as were deleted must not
+	// grow the store.
+	slots := tr.points.Len()
+	for i := 0; i < 160; i++ {
+		if err := tr.Insert(data[i], int32(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.points.Len() != slots {
+		t.Fatalf("store grew to %d slots, want recycled %d", tr.points.Len(), slots)
+	}
+}
+
+func TestDeleteErrors(t *testing.T) {
+	data := randData(40, 4, 83)
+	tr, err := Build(data, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete([]float64{1}, 0); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if err := tr.Delete(data[0], 999); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if err := tr.Delete(data[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete(data[0], 0); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}

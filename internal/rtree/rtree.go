@@ -303,6 +303,55 @@ func (t *Tree) insert(n *node, p []float64, id, row int32) (*entry, *entry) {
 	return nil, nil
 }
 
+// Delete removes the point with the given id. p must be the point's
+// coordinates: only subtrees whose MBR contains p can hold it (MBRs
+// only ever grow, and grew by exactly these coordinates at insert, so
+// the containment test is float-exact). The leaf entry is removed
+// physically and its store row freed for reuse; MBRs are not shrunk —
+// they stay conservative, so query bounds remain valid, just looser.
+func (t *Tree) Delete(p []float64, id int32) error {
+	if len(p) != t.dim {
+		return fmt.Errorf("rtree: point has dimension %d, tree expects %d", len(p), t.dim)
+	}
+	if !t.deleteIn(t.root, p, id) {
+		return fmt.Errorf("rtree: id %d not found", id)
+	}
+	t.count--
+	return nil
+}
+
+// deleteIn searches every subtree whose MBR contains p for the leaf
+// entry with the given id and removes it. Empty leaves are left in
+// place; queries iterate zero entries.
+func (t *Tree) deleteIn(n *node, p []float64, id int32) bool {
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].id != id {
+				continue
+			}
+			if err := t.points.Delete(int(n.entries[i].row)); err != nil {
+				// Unreachable: each row backs exactly one live entry.
+				panic(fmt.Sprintf("rtree: freeing row of id %d: %v", id, err))
+			}
+			last := len(n.entries) - 1
+			n.entries[i] = n.entries[last]
+			n.entries = n.entries[:last]
+			return true
+		}
+		return false
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.rect.Contains(p) {
+			continue
+		}
+		if t.deleteIn(e.child, p, id) {
+			return true
+		}
+	}
+	return false
+}
+
 // split performs Guttman's quadratic split on an overflowing node.
 func (t *Tree) split(n *node) (*entry, *entry) {
 	es := n.entries

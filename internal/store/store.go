@@ -7,23 +7,31 @@
 // instead of chasing one pointer per point, and batch kernels
 // (vec.SquaredL2ToMany) can stream the buffer directly.
 //
-// Rows are append-only and immutable once written. Row returns a
-// zero-copy view into the backing buffer; because Append may grow (and
-// therefore reallocate) the buffer, callers that hold views across
-// mutations keep a correct-but-stale copy of the old backing array —
-// safe for reading values, but long-lived references should store row
-// indices and re-resolve views instead.
+// Rows are mutable through a slot lifecycle: Append writes a row (new
+// or recycled), Delete tombstones one. A deleted row's slot joins a
+// free list and is reused — overwritten in place — by a later Append,
+// so heavy insert/delete churn does not grow the buffer. Len counts
+// slots (live and dead); Live counts live rows.
 //
-// A Store is safe for concurrent readers. Append is single-writer and
-// must not overlap reads, matching the index layers built on top.
+// Row returns a zero-copy view into the backing buffer; because Append
+// may grow (and therefore reallocate) the buffer, or overwrite a
+// recycled slot, callers must not hold views across mutations —
+// long-lived references should store row indices and re-resolve views.
+//
+// A Store is safe for concurrent readers. Append and Delete are
+// single-writer and must not overlap reads; the index layers built on
+// top coordinate this with their own reader/writer lock.
 package store
 
 import "fmt"
 
-// Store is a dense matrix of n rows × dim columns in one flat buffer.
+// Store is a dense matrix of n rows × dim columns in one flat buffer,
+// with a tombstone set and a free list for deleted slots.
 type Store struct {
-	dim int
-	buf []float64 // len(buf) == n*dim at all times
+	dim  int
+	buf  []float64 // len(buf) == n*dim at all times
+	dead []bool    // dead[i] marks slot i tombstoned; nil while no deletes
+	free []int32   // stack of dead slots, reused LIFO by Append
 }
 
 // New creates an empty store for rows of the given dimensionality.
@@ -66,36 +74,108 @@ func FromFlat(flat []float64, dim int) (*Store, error) {
 	return &Store{dim: dim, buf: flat}, nil
 }
 
-// Len returns the number of rows.
+// Len returns the number of slots (live rows plus tombstoned ones).
 func (s *Store) Len() int { return len(s.buf) / s.dim }
+
+// Live returns the number of live (non-tombstoned) rows.
+func (s *Store) Live() int { return s.Len() - len(s.free) }
+
+// DeadFraction returns the tombstoned share of all slots (0 when the
+// store is empty).
+func (s *Store) DeadFraction() float64 {
+	if n := s.Len(); n > 0 {
+		return float64(len(s.free)) / float64(n)
+	}
+	return 0
+}
+
+// IsLive reports whether slot i holds a live row.
+func (s *Store) IsLive(i int) bool {
+	if i < 0 || i >= s.Len() {
+		return false
+	}
+	return i >= len(s.dead) || !s.dead[i]
+}
 
 // Dim returns the row dimensionality.
 func (s *Store) Dim() int { return s.dim }
 
 // Row returns a zero-copy view of row i. The view is valid until the
-// next Append that grows the buffer; see the package comment.
+// next Append or Delete; see the package comment.
 func (s *Store) Row(i int) []float64 {
 	off := i * s.dim
 	return s.buf[off : off+s.dim : off+s.dim]
 }
 
 // Flat returns the backing buffer (len = Len()*Dim()). Read-only.
+// Tombstoned slots keep their last values.
 func (s *Store) Flat() []float64 { return s.buf }
 
-// Append copies p into the store as a new row and returns its index.
+// Append stores p as a row and returns its slot index: the most
+// recently deleted slot when the free list is non-empty (the row is
+// overwritten in place), a fresh slot at the end otherwise.
 func (s *Store) Append(p []float64) (int32, error) {
 	if len(p) != s.dim {
 		return 0, fmt.Errorf("store: row has dimension %d, store expects %d", len(p), s.dim)
+	}
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.dead[id] = false
+		copy(s.Row(int(id)), p)
+		return id, nil
 	}
 	id := int32(s.Len())
 	s.buf = append(s.buf, p...)
 	return id, nil
 }
 
-// Rows materializes a [][]float64 of zero-copy row views (for
-// compatibility with APIs that still take slices of rows). The views
-// share the backing buffer; do not mutate them, and do not hold the
-// result across Appends.
+// Delete tombstones row i and pushes its slot onto the free list. The
+// row's values remain readable (stale) until the slot is recycled.
+func (s *Store) Delete(i int) error {
+	if i < 0 || i >= s.Len() {
+		return fmt.Errorf("store: Delete of row %d outside [0,%d)", i, s.Len())
+	}
+	if s.dead == nil {
+		s.dead = make([]bool, s.Len())
+	} else if len(s.dead) < s.Len() {
+		grown := make([]bool, s.Len())
+		copy(grown, s.dead)
+		s.dead = grown
+	}
+	if s.dead[i] {
+		return fmt.Errorf("store: row %d already deleted", i)
+	}
+	s.dead[i] = true
+	s.free = append(s.free, int32(i))
+	return nil
+}
+
+// FreeList returns the dead slots in push order (the last element is
+// the next slot Append recycles). Read-only; used by serialization so
+// a loaded store recycles slots in the same order as the saved one.
+func (s *Store) FreeList() []int32 { return s.free }
+
+// RestoreFreeList replays a free list onto a store with no deletions
+// yet — the serialization loader's path to reconstruct tombstone state.
+// Slots are deleted in the given order, so subsequent Appends recycle
+// exactly as the saved store would have.
+func (s *Store) RestoreFreeList(free []int32) error {
+	if len(s.free) != 0 {
+		return fmt.Errorf("store: RestoreFreeList on a store with %d deletions", len(s.free))
+	}
+	for _, slot := range free {
+		if err := s.Delete(int(slot)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rows materializes a [][]float64 of zero-copy row views over every
+// slot, live or dead (for compatibility with APIs that take slices of
+// rows). The views share the backing buffer; do not mutate them, and
+// do not hold the result across Appends or Deletes.
 func (s *Store) Rows() [][]float64 {
 	out := make([][]float64, s.Len())
 	for i := range out {

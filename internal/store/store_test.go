@@ -127,3 +127,102 @@ func TestRows(t *testing.T) {
 		t.Fatal("Rows() copied")
 	}
 }
+
+func TestDeleteAndReuse(t *testing.T) {
+	s, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}})
+	if s.Live() != 4 || s.DeadFraction() != 0 {
+		t.Fatalf("fresh store: live=%d dead=%v", s.Live(), s.DeadFraction())
+	}
+	if err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 || s.Live() != 2 || s.DeadFraction() != 0.5 {
+		t.Fatalf("after deletes: len=%d live=%d dead=%v", s.Len(), s.Live(), s.DeadFraction())
+	}
+	if s.IsLive(1) || s.IsLive(3) || !s.IsLive(0) || !s.IsLive(2) {
+		t.Fatal("liveness flags wrong")
+	}
+	// Double delete and out-of-range are errors.
+	if err := s.Delete(1); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if err := s.Delete(-1); err == nil || s.Delete(4) == nil {
+		t.Fatal("out-of-range delete accepted")
+	}
+	// Append recycles the most recently deleted slot first (LIFO).
+	id, err := s.Append([]float64{30, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 3 {
+		t.Fatalf("recycled slot %d, want 3", id)
+	}
+	if !s.IsLive(3) || s.Row(3)[0] != 30 {
+		t.Fatalf("recycled row not overwritten: %v", s.Row(3))
+	}
+	if id, _ = s.Append([]float64{10, 10}); id != 1 {
+		t.Fatalf("second recycle got slot %d, want 1", id)
+	}
+	// Free list exhausted: appends grow again.
+	if id, _ = s.Append([]float64{5, 5}); id != 4 {
+		t.Fatalf("post-recycle append got slot %d, want 4", id)
+	}
+	if s.Len() != 5 || s.Live() != 5 {
+		t.Fatalf("final shape: len=%d live=%d", s.Len(), s.Live())
+	}
+}
+
+func TestIsLiveAfterGrowth(t *testing.T) {
+	// Deleting allocates the tombstone flags at the then-current size;
+	// rows appended afterwards must still read as live.
+	s, _ := FromRows([][]float64{{1}, {2}})
+	if err := s.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := s.Append([]float64{3}); id != 0 {
+		t.Fatal("expected slot 0 recycled")
+	}
+	if id, _ := s.Append([]float64{4}); id != 2 {
+		t.Fatal("expected growth to slot 2")
+	}
+	if !s.IsLive(2) {
+		t.Fatal("grown row reads as dead")
+	}
+	if err := s.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.IsLive(2) || !s.IsLive(0) || !s.IsLive(1) {
+		t.Fatal("liveness wrong after growth + delete")
+	}
+}
+
+func TestRestoreFreeList(t *testing.T) {
+	s, _ := FromRows([][]float64{{1}, {2}, {3}})
+	if err := s.RestoreFreeList([]int32{2, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Live() != 1 || s.IsLive(0) || s.IsLive(2) {
+		t.Fatal("restored tombstones wrong")
+	}
+	// Recycle order must match the restored push order (0 pops first).
+	if id, _ := s.Append([]float64{9}); id != 0 {
+		t.Fatal("restored free list pops in wrong order")
+	}
+	// Invalid restores fail: duplicate slot, out of range, non-fresh.
+	s2, _ := FromRows([][]float64{{1}, {2}})
+	if err := s2.RestoreFreeList([]int32{1, 1}); err == nil {
+		t.Fatal("duplicate slot accepted")
+	}
+	s3, _ := FromRows([][]float64{{1}})
+	if err := s3.RestoreFreeList([]int32{5}); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	s4, _ := FromRows([][]float64{{1}, {2}})
+	_ = s4.Delete(0)
+	if err := s4.RestoreFreeList([]int32{1}); err == nil {
+		t.Fatal("restore onto a mutated store accepted")
+	}
+}

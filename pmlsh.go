@@ -62,11 +62,22 @@ type Config struct {
 	// the paper's R-LSH ablation. Slower on range-query workloads
 	// (Table 2) but otherwise equivalent.
 	UseRTree bool
+	// AutoCompactFraction is the deleted share of the vector store at
+	// which a Delete triggers an automatic Compact (0 = 0.3; negative
+	// disables auto-compaction; values above 1 are rejected).
+	AutoCompactFraction float64
 }
 
-// Index is a PM-LSH index. Queries (KNN, BallCover, ClosestPairs) are
-// safe for concurrent use; Insert is a single-writer operation and must
-// not overlap queries or other inserts.
+// Index is a PM-LSH index over a mutable dataset. Every method is safe
+// for concurrent use: queries (KNN, KNNBatch, BallCover, ClosestPairs)
+// run concurrently with each other under a shared reader lock, while
+// Insert, Delete and Compact take the writer side and serialize
+// against readers and one another. A query always observes a
+// consistent state and never returns a deleted point.
+//
+// Ids are stable: Insert assigns them from a monotone counter and they
+// are never reused or remapped — not by Delete, not by Compact — so an
+// id a caller holds refers to the same point for the index's lifetime.
 type Index struct {
 	ix *core.Index
 }
@@ -77,13 +88,14 @@ type Index struct {
 // mutate it after Build returns.
 func Build(data [][]float64, cfg Config) (*Index, error) {
 	ix, err := core.Build(data, core.Config{
-		M:                  cfg.M,
-		NumPivots:          cfg.NumPivots,
-		ExplicitZeroPivots: cfg.ZeroPivots,
-		Capacity:           cfg.Capacity,
-		Alpha1:             cfg.Alpha1,
-		Seed:               cfg.Seed,
-		UseRTree:           cfg.UseRTree,
+		M:                   cfg.M,
+		NumPivots:           cfg.NumPivots,
+		ExplicitZeroPivots:  cfg.ZeroPivots,
+		Capacity:            cfg.Capacity,
+		Alpha1:              cfg.Alpha1,
+		Seed:                cfg.Seed,
+		UseRTree:            cfg.UseRTree,
+		AutoCompactFraction: cfg.AutoCompactFraction,
 	})
 	if err != nil {
 		return nil, err
@@ -91,13 +103,38 @@ func Build(data [][]float64, cfg Config) (*Index, error) {
 	return &Index{ix: ix}, nil
 }
 
-// Insert adds one point to the index and returns its assigned id (the
-// next dataset position). Inserts must not run concurrently with
-// queries or other inserts.
+// Insert adds one point to the index and returns its assigned id: the
+// next value of a monotone counter, never a reused one. Insert may run
+// concurrently with queries and other mutations.
 func (x *Index) Insert(p []float64) (int32, error) { return x.ix.Insert(p) }
 
-// Len returns the number of indexed points.
+// Delete removes the point with the given id. The id is retired
+// forever; the point's storage row is tombstoned and recycled by a
+// later Insert. When the tombstoned share of the store reaches
+// Config.AutoCompactFraction, Delete compacts the index before
+// returning. Deleting an unknown or already-deleted id is an error.
+// Delete may run concurrently with queries and other mutations.
+func (x *Index) Delete(id int32) error { return x.ix.Delete(id) }
+
+// Compact rebuilds the index over its live points: the vector store is
+// repacked (dropping tombstones), the projected-space tree is bulk
+// loaded from scratch — restoring the tight covering regions that
+// deletions loosen — and the query-radius distance sample is
+// refreshed. Ids are preserved. Compact may run concurrently with
+// queries and other mutations; it blocks them while it rebuilds.
+func (x *Index) Compact() error { return x.ix.Compact() }
+
+// Len returns the size of the id space: the number of ids ever
+// assigned. With no deletions this is the number of indexed points;
+// under churn, use LiveLen for the live count.
 func (x *Index) Len() int { return x.ix.Len() }
+
+// LiveLen returns the number of live (not deleted) points.
+func (x *Index) LiveLen() int { return x.ix.LiveLen() }
+
+// IsLive reports whether id refers to a live (inserted and not yet
+// deleted) point.
+func (x *Index) IsLive(id int32) bool { return x.ix.IsLive(id) }
 
 // Dim returns the dimensionality of indexed points.
 func (x *Index) Dim() int { return x.ix.Dim() }
@@ -129,8 +166,9 @@ func (x *Index) KNNWithStats(q []float64, k int, c float64) ([]Neighbor, QuerySt
 // neighbors of qs[i], in the same order KNN would return them; results
 // are identical to calling KNN per query, only the scheduling differs.
 // The first query error, if any, is returned after all workers finish.
-// KNNBatch is safe to run concurrently with KNN and other KNNBatch
-// calls, but — like all queries — must not overlap Insert.
+// KNNBatch holds the reader lock once for the whole batch, so every
+// query in it observes the same index state; mutations wait for the
+// batch to finish.
 func (x *Index) KNNBatch(qs [][]float64, k int, c float64) ([][]Neighbor, error) {
 	res, err := x.ix.KNNBatch(qs, k, c)
 	if res == nil {
@@ -196,9 +234,12 @@ func (x *Index) DeriveParams(c float64) (Params, error) {
 	return x.ix.DeriveParams(c)
 }
 
-// WriteTo serializes the index (projection, tree structure, dataset,
-// distance sample) to w in a little-endian binary format. A loaded
-// index answers queries identically to the saved one.
+// WriteTo serializes the index (projection, tree structure, dataset
+// with tombstones, id map, distance sample) to w in a little-endian
+// binary format. A loaded index answers queries identically to the
+// saved one, holds the same live set and retired ids, and recycles
+// storage slots in the same order. WriteTo takes the reader lock, so
+// it snapshots a consistent state even under concurrent mutations.
 func (x *Index) WriteTo(w io.Writer) (int64, error) { return x.ix.WriteTo(w) }
 
 // Load deserializes an index written with WriteTo.

@@ -44,6 +44,25 @@ func TestQuickSerializationRoundTrip(t *testing.T) {
 			t.Logf("build: %v", err)
 			return false
 		}
+		// A random churn phase: the round trip must also preserve
+		// tombstones, retired ids and the auto-compaction state.
+		for i := 0; i < 5+rng.Intn(30); i++ {
+			if rng.Intn(3) == 0 {
+				if _, err := ix.Insert(quickData(rng, 1, 12)[0]); err != nil {
+					t.Logf("insert: %v", err)
+					return false
+				}
+				continue
+			}
+			// Deleting a random id; re-hitting an already-deleted one is
+			// part of the random program and errors by contract.
+			id := int32(rng.Intn(ix.Len()))
+			wasLive := ix.IsLive(id)
+			if err := ix.Delete(id); (err == nil) != wasLive {
+				t.Logf("delete %d (live=%v): %v", id, wasLive, err)
+				return false
+			}
+		}
 		var buf bytes.Buffer
 		if _, err := ix.WriteTo(&buf); err != nil {
 			t.Logf("write: %v", err)
