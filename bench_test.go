@@ -57,6 +57,7 @@ func BenchmarkTable4Overview(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := a.KNN(w.Queries[i%len(w.Queries)], 50); err != nil {
@@ -71,6 +72,7 @@ func BenchmarkTable4Overview(b *testing.B) {
 // on projected points — the content of Table 2.
 func BenchmarkTable2CostModel(b *testing.B) {
 	w := workload(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cmp, err := bench.CostModel(w.Dataset, 15, 0, int64(i))
@@ -87,6 +89,7 @@ func BenchmarkTable2CostModel(b *testing.B) {
 // Table 3.
 func BenchmarkTable3DatasetStats(b *testing.B) {
 	w := workload(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.DatasetStats(w.Dataset, int64(i)); err != nil {
@@ -99,6 +102,7 @@ func BenchmarkTable3DatasetStats(b *testing.B) {
 // estimators — the content of Fig. 3.
 func BenchmarkFig3Estimators(b *testing.B) {
 	w := workload(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		curves, err := bench.EstimatorStudy(w.Dataset, 3, []int{100, 500}, 50, int64(i))
@@ -115,6 +119,7 @@ func BenchmarkFig3Estimators(b *testing.B) {
 // measures query behavior — the content of Fig. 6.
 func BenchmarkFig6ParamSweep(b *testing.B) {
 	w := workload(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.ParamSweep(w, 10, []int{0, 5}, []int{10, 15}, bench.BuildConfig{Seed: int64(i)}); err != nil {
@@ -134,6 +139,7 @@ func BenchmarkFig7to9VaryK(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := a.KNN(w.Queries[i%len(w.Queries)], k); err != nil {
@@ -149,6 +155,7 @@ func BenchmarkFig7to9VaryK(b *testing.B) {
 // the recall–time and ratio–time curves of Figs. 10–11.
 func BenchmarkFig10and11Tradeoff(b *testing.B) {
 	w := workload(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := bench.Tradeoff(w, 10, []float64{1.2, 1.8}, []int{16}, []float64{0.5},
@@ -169,6 +176,7 @@ func BenchmarkAblationTreeChoice(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := a.KNN(w.Queries[i%len(w.Queries)], 50); err != nil {
@@ -190,6 +198,7 @@ func BenchmarkAblationAlpha(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := ix.KNN(w.Queries[i%len(w.Queries)], 20, 1.5); err != nil {
@@ -203,6 +212,7 @@ func BenchmarkAblationAlpha(b *testing.B) {
 // BenchmarkIndexBuild measures construction cost of the PM-LSH index.
 func BenchmarkIndexBuild(b *testing.B) {
 	w := workload(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Build(w.Dataset.Points, Config{Seed: int64(i)}); err != nil {
@@ -212,7 +222,10 @@ func BenchmarkIndexBuild(b *testing.B) {
 }
 
 // BenchmarkQueryK50 is the headline microbenchmark: one (1.5,50)-ANN
-// query at the paper's defaults.
+// query at the paper's defaults. Besides the ns/B/allocs triple it
+// reports pdc/op, the mean projected-space distance computations per
+// query (QueryStats.ProjectedDistComps) — the counter the resumable
+// enumerator exists to shrink.
 func BenchmarkQueryK50(b *testing.B) {
 	w := workload(b)
 	ix, err := Build(w.Dataset.Points, Config{Seed: 5})
@@ -221,11 +234,15 @@ func BenchmarkQueryK50(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
+	var pdc int64
 	for i := 0; i < b.N; i++ {
-		if _, err := ix.KNN(w.Queries[i%len(w.Queries)], 50, 1.5); err != nil {
+		_, st, err := ix.KNNWithStats(w.Queries[i%len(w.Queries)], 50, 1.5)
+		if err != nil {
 			b.Fatal(err)
 		}
+		pdc += st.ProjectedDistComps
 	}
+	b.ReportMetric(float64(pdc)/float64(b.N), "pdc/op")
 }
 
 // churnQEnv lazily prepares the mutation-lifecycle comparison: one
@@ -294,11 +311,15 @@ func benchQueryK50On(b *testing.B, ix *Index) {
 	w := workload(b)
 	b.ReportAllocs()
 	b.ResetTimer()
+	var pdc int64
 	for i := 0; i < b.N; i++ {
-		if _, err := ix.KNN(w.Queries[i%len(w.Queries)], 50, 1.5); err != nil {
+		_, st, err := ix.KNNWithStats(w.Queries[i%len(w.Queries)], 50, 1.5)
+		if err != nil {
 			b.Fatal(err)
 		}
+		pdc += st.ProjectedDistComps
 	}
+	b.ReportMetric(float64(pdc)/float64(b.N), "pdc/op")
 }
 
 // BenchmarkQueryK50Churned measures the query after deleting 40% of
@@ -385,13 +406,17 @@ func BenchmarkKNNSerial(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
+	var pdc int64
 	for i := 0; i < b.N; i++ {
 		for _, q := range w.Queries {
-			if _, err := ix.KNN(q, 50, 1.5); err != nil {
+			_, st, err := ix.KNNWithStats(q, 50, 1.5)
+			if err != nil {
 				b.Fatal(err)
 			}
+			pdc += st.ProjectedDistComps
 		}
 	}
+	b.ReportMetric(float64(pdc)/float64(b.N), "pdc/op")
 }
 
 // cpEnv lazily builds the closest-pair reference workload once per
@@ -482,12 +507,24 @@ func BenchmarkNaiveDedupBallCover(b *testing.B) {
 }
 
 // BenchmarkKNNBatch fans the same query set across the KNNBatch worker
-// pool (GOMAXPROCS workers): the first-class concurrent read path.
+// pool (GOMAXPROCS workers): the first-class concurrent read path. The
+// pdc/op metric (projected distance computations per batch) is
+// measured once, serially, before the timed loop: the batch answers
+// the identical queries, and the tree-wide counter cannot attribute
+// interleaved per-query deltas under concurrency.
 func BenchmarkKNNBatch(b *testing.B) {
 	w := workload(b)
 	ix, err := Build(w.Dataset.Points, Config{Seed: 5})
 	if err != nil {
 		b.Fatal(err)
+	}
+	var pdc int64
+	for _, q := range w.Queries {
+		_, st, err := ix.KNNWithStats(q, 50, 1.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pdc += st.ProjectedDistComps
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -496,4 +533,5 @@ func BenchmarkKNNBatch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(pdc), "pdc/op")
 }

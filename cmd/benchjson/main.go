@@ -1,0 +1,32 @@
+// Command benchjson converts `go test -bench` output (stdin) into the
+// BENCH_<pr>.json trajectory format (stdout):
+//
+//	go test -run '^$' -bench 'QueryK50|KNNBatch' . | benchjson -pr 4 > BENCH_4.json
+//
+// scripts/bench_trajectory.sh wraps the full pipeline; CI runs it on
+// every push so the engine's headline numbers accumulate as
+// machine-readable data points.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	pr := flag.Int("pr", 0, "stacked-PR sequence number to tag the run with")
+	flag.Parse()
+	tr, err := bench.ParseBenchOutput(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	tr.PR = *pr
+	if err := bench.WriteTrajectory(os.Stdout, tr); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

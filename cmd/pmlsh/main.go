@@ -7,7 +7,7 @@
 //	pmlsh build -data vectors.f64 -index out.pmlsh [-m 15] [-pivots 5]
 //	pmlsh query -index out.pmlsh -k 10 -c 1.5 -point "0.1,0.2,..."
 //	pmlsh cp    -index out.pmlsh -k 10 -c 1.5 [-par]
-//	pmlsh bench -index out.pmlsh -k 10 -c 1.5 -queries 100 [-par]
+//	pmlsh bench -index out.pmlsh -k 10 -c 1.5 -queries 100 [-par] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	pmlsh churn -data vectors.f64 [-ops 2000] [-delfrac 0.4] [-k 10]
 //	pmlsh info  -index out.pmlsh
 package main
@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -184,6 +185,8 @@ func runBench(args []string) error {
 	queries := fs.Int("queries", 100, "number of random data points to query")
 	seed := fs.Int64("seed", 1, "query sampling seed")
 	par := fs.Bool("par", false, "answer the query set with KNNBatch (parallel worker pool) and report aggregate QPS")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the query loop to this file (go tool pprof)")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file after the query loop")
 	fs.Parse(args)
 	if *indexPath == "" {
 		return fmt.Errorf("bench requires -index")
@@ -191,6 +194,34 @@ func runBench(args []string) error {
 	ix, err := loadIndex(*indexPath)
 	if err != nil {
 		return err
+	}
+	// The memprofile defer is registered first so that (LIFO) it runs
+	// AFTER StopCPUProfile: the GC and heap serialization must not be
+	// sampled into the CPU profile.
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pmlsh: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pmlsh: memprofile: %v\n", err)
+			}
+		}()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	// Query the index with perturbation-free self-queries; latency is
 	// what this subcommand measures.

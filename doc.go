@@ -84,6 +84,25 @@
 // persists the full lifecycle state: tombstones, retired ids and the
 // slot-recycling order; streams from earlier versions still load.
 //
+// # Query engine
+//
+// Algorithm 2 of the paper probes candidates with projected range
+// queries of geometrically growing radius (r ← c·r). The engine runs
+// that loop on a resumable range-expansion frontier: the first round
+// expands a frontier over the projected tree to the initial radius,
+// freezing every subtree and leaf entry whose lower bound exceeds it,
+// and every later round thaws exactly the frontier entries that
+// entered the enlarged radius. No round re-descends from the root or
+// re-materializes previously seen candidates — each projected point
+// (and each routing-object distance) is visited once per query, not
+// once per round. Per-query state is pooled, so a steady-state KNN
+// call allocates only its k-result output slice (2 allocations
+// total). Both tree backends implement the contract, and answers are
+// element-wise identical to the round-restarting formulation (the
+// equivalence suite pins this); only the work counters shrink. See
+// README.md ("Performance") for the measured trajectory and the
+// BENCH_*.json format it is recorded in.
+//
 // # Queries and concurrency
 //
 // Every method is safe for concurrent use. Queries — KNN,

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Benchmark-trajectory tooling: parse `go test -bench` output into the
+// BENCH_<pr>.json records CI emits, so the engine's headline numbers
+// (ns/op, B/op, allocs/op, and the pdc/op projected-distance metric the
+// query benchmarks report) accumulate as machine-readable data points
+// PR over PR instead of living only in CHANGES.md prose.
+
+// BenchResult is one benchmark line: the benchmark's name (stripped of
+// the Benchmark prefix and -GOMAXPROCS suffix), its iteration count,
+// and every reported metric keyed by unit (ns/op, B/op, allocs/op,
+// pdc/op, ...).
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Trajectory is one whole benchmark run.
+type Trajectory struct {
+	// PR tags the stacked-PR sequence number the run belongs to.
+	PR int `json:"pr"`
+	// Context carries goos/goarch/cpu lines from the bench header.
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks holds one record per benchmark line, in output order.
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// ParseBenchOutput reads `go test -bench` output and collects every
+// benchmark line plus the goos/goarch/pkg/cpu context header.
+func ParseBenchOutput(r io.Reader) (*Trajectory, error) {
+	tr := &Trajectory{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok "):
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			tr.Context[k] = strings.TrimSpace(v)
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		res, err := parseBenchLine(line)
+		if err != nil {
+			return nil, err
+		}
+		tr.Benchmarks = append(tr.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(tr.Benchmarks) == 0 {
+		return nil, fmt.Errorf("bench: no benchmark lines found")
+	}
+	return tr, nil
+}
+
+// parseBenchLine splits one "BenchmarkName-P  N  v1 unit1  v2 unit2 …"
+// line.
+func parseBenchLine(line string) (BenchResult, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return BenchResult{}, fmt.Errorf("bench: malformed benchmark line %q", line)
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, fmt.Errorf("bench: iteration count in %q: %w", line, err)
+	}
+	res := BenchResult{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return BenchResult{}, fmt.Errorf("bench: metric value in %q: %w", line, err)
+		}
+		res.Metrics[f[i+1]] = v
+	}
+	return res, nil
+}
+
+// WriteTrajectory emits the run as indented JSON.
+func WriteTrajectory(w io.Writer, tr *Trajectory) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}

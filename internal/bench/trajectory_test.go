@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkQueryK50-1         	    7401	    304703 ns/op	      1859 B/op	       2 allocs/op	      2241 pdc/op
+BenchmarkQueryK50Churned-1  	   10000	    220993 ns/op	      1792 B/op	       2 allocs/op	      1651 pdc/op
+BenchmarkKNNBatch-1         	     302	   8137199 ns/op	      224100 pdc/op	 1257019 B/op	     386 allocs/op
+PASS
+ok  	repro	9.986s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	tr, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Context["cpu"]; !strings.Contains(got, "Xeon") {
+		t.Fatalf("cpu context = %q", got)
+	}
+	if len(tr.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(tr.Benchmarks))
+	}
+	q := tr.Benchmarks[0]
+	if q.Name != "QueryK50" || q.Iterations != 7401 {
+		t.Fatalf("first record = %+v", q)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 304703, "B/op": 1859, "allocs/op": 2, "pdc/op": 2241,
+	} {
+		if got := q.Metrics[unit]; got != want {
+			t.Fatalf("QueryK50 %s = %v, want %v", unit, got, want)
+		}
+	}
+	if got := tr.Benchmarks[2].Metrics["pdc/op"]; got != 224100 {
+		t.Fatalf("KNNBatch pdc/op = %v, want 224100", got)
+	}
+}
+
+func TestParseBenchOutputErrors(t *testing.T) {
+	if _, err := ParseBenchOutput(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("accepted output without benchmark lines")
+	}
+	if _, err := ParseBenchOutput(strings.NewReader("BenchmarkX-1 12 nonsense ns/op\n")); err == nil {
+		t.Fatal("accepted a non-numeric metric value")
+	}
+	if _, err := ParseBenchOutput(strings.NewReader("BenchmarkX-1 12 34\n")); err == nil {
+		t.Fatal("accepted a value without a unit")
+	}
+}
+
+func TestWriteTrajectoryRoundTrips(t *testing.T) {
+	tr, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.PR = 4
+	var buf bytes.Buffer
+	if err := WriteTrajectory(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var back Trajectory
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.PR != 4 || len(back.Benchmarks) != len(tr.Benchmarks) {
+		t.Fatalf("round-trip = %+v", back)
+	}
+	if back.Benchmarks[0].Metrics["ns/op"] != tr.Benchmarks[0].Metrics["ns/op"] {
+		t.Fatal("metrics did not survive the round trip")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -139,9 +140,13 @@ type Params struct {
 // the PM-tree (PM-LSH proper) and the R-tree (the R-LSH ablation) are
 // interchangeable inside Algorithm 2.
 type projectedIndex interface {
-	// RangeSearch returns ids and projected distances of all indexed
-	// points within radius r of q, sorted by projected distance.
-	RangeSearch(q []float64, r float64) ([]Result, error)
+	// resetEnum binds the backend's resumable range enumerator slot in
+	// sc to the projected query q and returns it, ready for Expand
+	// calls at nondecreasing radii. The returned enumerator streams
+	// each indexed point at most once per query (see
+	// pmtree.RangeEnumerator); it is only valid until sc is returned
+	// to the pool.
+	resetEnum(sc *queryScratch, q []float64) (rangeEnum, error)
 	// Insert adds one projected point.
 	Insert(p []float64, id int32) error
 	// Delete removes the projected point with the given id; p steers the
@@ -152,19 +157,22 @@ type projectedIndex interface {
 	DistanceComputations() int64
 }
 
+// rangeEnum is the streaming surface of one running range-expansion
+// query: Expand(r) emits, through the callback, every indexed point
+// whose projected distance entered the (growing) radius since the
+// previous Expand, as (id, projected distance).
+type rangeEnum interface {
+	Expand(r float64, emit func(id int32, dist float64))
+}
+
 // pmAdapter wraps the PM-tree as a projectedIndex.
 type pmAdapter struct{ t *pmtree.Tree }
 
-func (a pmAdapter) RangeSearch(q []float64, r float64) ([]Result, error) {
-	res, err := a.t.RangeSearch(q, r)
-	if err != nil {
+func (a pmAdapter) resetEnum(sc *queryScratch, q []float64) (rangeEnum, error) {
+	if err := sc.pmEnum.Reset(a.t, q); err != nil {
 		return nil, err
 	}
-	out := make([]Result, len(res))
-	for i, x := range res {
-		out[i] = Result{ID: x.ID, Dist: x.Dist}
-	}
-	return out, nil
+	return &sc.pmEnum, nil
 }
 
 func (a pmAdapter) Insert(p []float64, id int32) error { return a.t.Insert(p, id) }
@@ -176,16 +184,11 @@ func (a pmAdapter) DistanceComputations() int64 { return a.t.DistanceComputation
 // rtAdapter wraps the R-tree as a projectedIndex.
 type rtAdapter struct{ t *rtree.Tree }
 
-func (a rtAdapter) RangeSearch(q []float64, r float64) ([]Result, error) {
-	res, err := a.t.RangeSearch(q, r)
-	if err != nil {
+func (a rtAdapter) resetEnum(sc *queryScratch, q []float64) (rangeEnum, error) {
+	if err := sc.rtEnum.Reset(a.t, q); err != nil {
 		return nil, err
 	}
-	out := make([]Result, len(res))
-	for i, x := range res {
-		out[i] = Result{ID: x.ID, Dist: x.Dist}
-	}
-	return out, nil
+	return &sc.rtEnum, nil
 }
 
 func (a rtAdapter) Insert(p []float64, id int32) error { return a.t.Insert(p, id) }
@@ -229,8 +232,10 @@ type Index struct {
 	// contract above. Internal lower-case variants assume it is held.
 	mu sync.RWMutex
 
-	// scratch pools the per-query visited marks so queries from
-	// multiple goroutines never share mutable state.
+	// scratch pools the per-query state (projected-query buffer, range
+	// enumerator, per-round emit buffer) so queries from multiple
+	// goroutines never share mutable state and steady-state queries
+	// allocate only their k-result output slice.
 	scratch sync.Pool
 }
 
@@ -238,32 +243,42 @@ type Index struct {
 // side) and the id must be live.
 func (ix *Index) point(id int32) []float64 { return ix.data.Row(int(ix.rowOf[id])) }
 
-// queryScratch holds one query's visited marks. Marks are epoch-based
-// so the slice is reused without clearing between queries.
+// queryScratch holds one query's reusable state: the projected query
+// buffer, the per-backend resumable range enumerators (only the one
+// matching the index's backend is ever bound), the current round's emit
+// buffer and the emit callback bound to it. Everything is reused across
+// queries; no per-point marks are needed because the enumerator streams
+// each point at most once per query.
 type queryScratch struct {
-	marks []int32
-	epoch int32
+	qp     []float64
+	pmEnum pmtree.RangeEnumerator
+	rtEnum rtree.RangeEnumerator
+	emit   []Result
+	tmp    []Result // radix-sort double buffer for emit
+	emitFn func(id int32, dist float64)
 }
 
-// getScratch returns a scratch sized for n points.
-func (ix *Index) getScratch(n int) *queryScratch {
+// getScratch returns a pooled scratch.
+func (ix *Index) getScratch() *queryScratch {
 	s, _ := ix.scratch.Get().(*queryScratch)
 	if s == nil {
 		s = &queryScratch{}
-	}
-	if len(s.marks) < n {
-		s.marks = make([]int32, n)
-		s.epoch = 0
-	}
-	s.epoch++
-	if s.epoch == math.MaxInt32 {
-		clear(s.marks)
-		s.epoch = 1
+		s.emitFn = func(id int32, dist float64) {
+			s.emit = append(s.emit, Result{ID: id, Dist: dist})
+		}
 	}
 	return s
 }
 
-func (ix *Index) putScratch(s *queryScratch) { ix.scratch.Put(s) }
+// putScratch releases the enumerators' tree/query references (so a
+// pooled scratch never pins a tree a Compact has replaced) and returns
+// the scratch to the pool with its buffer capacity intact.
+func (ix *Index) putScratch(s *queryScratch) {
+	s.pmEnum.Release()
+	s.rtEnum.Release()
+	s.emit = s.emit[:0]
+	ix.scratch.Put(s)
+}
 
 // Published operating point (paper Section 6.1): "we set … α1 = 1/e,
 // so α2 = 0.1405 and β = 0.2809 are obtained according to Eq. 10".
@@ -408,7 +423,10 @@ func (ix *Index) Insert(p []float64) (int32, error) {
 
 	// Reservoir-style refresh of the distance sample (live rows only;
 	// the bounded rejection loop gives up quietly on tombstone-heavy
-	// stores — the next Compact resamples from scratch anyway).
+	// stores — the next Compact resamples from scratch anyway). Each
+	// refreshed slot is removed and the new distance re-inserted at its
+	// rank (one bounded copy), so the sample stays sorted without the
+	// full O(S log S) re-sort a 4-slot refresh never needed.
 	if ix.data.Live() > 1 && len(ix.distCDF) > 0 {
 		rng := rand.New(rand.NewSource(ix.cfg.Seed + int64(id)))
 		const refresh = 4
@@ -419,12 +437,30 @@ func (ix *Index) Insert(p []float64) (int32, error) {
 				continue
 			}
 			d := vec.L2(p, ix.data.Row(other))
-			ix.distCDF[rng.Intn(len(ix.distCDF))] = d
+			replaceSorted(ix.distCDF, rng.Intn(len(ix.distCDF)), d)
 			done++
 		}
-		sort.Float64s(ix.distCDF)
 	}
 	return id, nil
+}
+
+// replaceSorted removes the value at index j of the sorted slice s and
+// inserts d at its rank, shifting only the elements between the two
+// positions. The result is the same sorted multiset a full re-sort
+// after s[j] = d would produce.
+func replaceSorted(s []float64, j int, d float64) {
+	switch i := sort.SearchFloat64s(s, d); {
+	case i <= j:
+		// d ranks at or before the removed slot: shift s[i:j] right.
+		copy(s[i+1:j+1], s[i:j])
+		s[i] = d
+	case i > j+1:
+		// d ranks after the removed slot: shift s[j+1:i] left.
+		copy(s[j:i-1], s[j+1:i])
+		s[i-1] = d
+	default: // i == j+1: d lands exactly where the victim was.
+		s[j] = d
+	}
 }
 
 // Delete removes the point with the given id. The id stays retired
@@ -681,6 +717,19 @@ func (ix *Index) KNN(q []float64, k int, c float64) ([]Result, error) {
 // soon as either k candidates lie within c·r in the original space or
 // βn + k candidates have been verified (n the live count).
 //
+// The radius-enlarging loop runs on a resumable range enumerator: the
+// first round expands a best-first frontier over the projected tree to
+// t·r_min, and every later round resumes that frozen frontier at the
+// enlarged radius instead of restarting the range search from the
+// root. Each projected point is therefore visited once per query, not
+// once per round, and only the candidates that newly entered the
+// radius are verified (they are, by construction, exactly the ones the
+// old restart loop's dedup marks would have let through; the rounds'
+// deltas are sorted by projected distance so the verification order —
+// and with it the answer, budget truncation and tie-breaks included —
+// matches the restart loop element for element, which
+// TestStreamingMatchesRestartLoopReference pins).
+//
 // Queries are safe for concurrent use (per-query state is pooled) and
 // may overlap Insert/Delete/Compact — the reader lock serializes them
 // against mutations. The ProjectedDistComps statistic is a combined
@@ -720,10 +769,14 @@ func (ix *Index) knnWithStats(q []float64, k int, c float64) ([]Result, QuerySta
 		r = ix.smallestPositiveDistance()
 	}
 
-	qp := ix.proj.Project(q)
-	sc := ix.getScratch(len(ix.rowOf))
+	sc := ix.getScratch()
 	defer ix.putScratch(sc)
+	qp := ix.projectInto(sc, q)
 	distStart := ix.pidx.DistanceComputations()
+	en, err := ix.pidx.resetEnum(sc, qp)
+	if err != nil {
+		return nil, st, err
+	}
 
 	// Verification keeps only the running top-k (squared distances; the
 	// k square roots are deferred to the end). Every unique candidate
@@ -736,15 +789,10 @@ func (ix *Index) knnWithStats(q []float64, k int, c float64) ([]Result, QuerySta
 	bound := math.Inf(1)        // current k-th best squared distance
 	for {
 		st.Rounds++
-		projRes, err := ix.pidx.RangeSearch(qp, params.T*r)
-		if err != nil {
-			return nil, st, err
-		}
-		for _, pr := range projRes {
-			if sc.marks[pr.ID] == sc.epoch {
-				continue
-			}
-			sc.marks[pr.ID] = sc.epoch
+		sc.emit = sc.emit[:0]
+		en.Expand(params.T*r, sc.emitFn)
+		sc.sortEmit()
+		for _, pr := range sc.emit {
 			st.Verified++
 			d2 := vec.SquaredL2Bounded(q, ix.point(pr.ID), bound)
 			if len(top) < k || d2 < bound {
@@ -777,6 +825,136 @@ func (ix *Index) knnWithStats(q []float64, k int, c float64) ([]Result, QuerySta
 		top[i].Dist = math.Sqrt(top[i].Dist)
 	}
 	return top, st, nil
+}
+
+// projectInto projects q into the scratch's reusable buffer.
+func (ix *Index) projectInto(sc *queryScratch, q []float64) []float64 {
+	if cap(sc.qp) < ix.cfg.M {
+		sc.qp = make([]float64, ix.cfg.M)
+	} else {
+		sc.qp = sc.qp[:ix.cfg.M]
+	}
+	ix.proj.ProjectTo(sc.qp, q)
+	return sc.qp
+}
+
+// sortResultsByDistID orders candidates by (projected distance, id) —
+// the order the restart loop's sorted RangeSearch results induced on
+// its not-yet-seen suffix.
+func sortResultsByDistID(rs []Result) {
+	slices.SortFunc(rs, func(a, b Result) int {
+		switch {
+		case a.Dist < b.Dist:
+			return -1
+		case a.Dist > b.Dist:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+}
+
+// radixSortThreshold is the candidate count below which the comparison
+// sort wins (no counting passes over a 1 KiB histogram for a handful
+// of elements).
+const radixSortThreshold = 64
+
+// sortEmit orders the round's streamed candidates in sc.emit by
+// (projected distance, id), equivalently to sortResultsByDistID but in
+// O(n) passes: an LSD radix sort on the IEEE-754 bits of the distance
+// — order-preserving for non-negative floats, and projected distances
+// are square roots, hence never −0 — that skips bytes shared by every
+// key (the exponent bytes of a radius-bounded candidate set mostly
+// are), followed by an id-ordering pass over runs of equal distance
+// (radix stability keeps those runs in emission order). A round emits
+// on the order of βn candidates, where this runs several times faster
+// than the comparison sort and allocation-free against the pooled
+// double buffer.
+func (sc *queryScratch) sortEmit() {
+	rs := sc.emit
+	if len(rs) < radixSortThreshold {
+		sortResultsByDistID(rs)
+		return
+	}
+	if cap(sc.tmp) < len(rs) {
+		sc.tmp = make([]Result, len(rs))
+	}
+	src, dst := rs, sc.tmp[:len(rs)]
+	// All eight byte histograms in a single pass over the keys, so
+	// passes whose byte every key shares (the high exponent bytes of a
+	// radius-bounded candidate set) cost nothing beyond their counters.
+	var count [8][256]int32
+	for i := range src {
+		bits := math.Float64bits(src[i].Dist)
+		count[0][byte(bits)]++
+		count[1][byte(bits>>8)]++
+		count[2][byte(bits>>16)]++
+		count[3][byte(bits>>24)]++
+		count[4][byte(bits>>32)]++
+		count[5][byte(bits>>40)]++
+		count[6][byte(bits>>48)]++
+		count[7][byte(bits>>56)]++
+	}
+	first := math.Float64bits(src[0].Dist)
+	for pass := 0; pass < 8; pass++ {
+		shift := pass * 8
+		cnt := &count[pass]
+		if cnt[byte(first>>shift)] == int32(len(src)) {
+			continue // every key shares this byte
+		}
+		next := int32(0)
+		for i := range cnt {
+			c := cnt[i]
+			cnt[i] = next
+			next += c
+		}
+		for i := range src {
+			b := byte(math.Float64bits(src[i].Dist) >> shift)
+			dst[cnt[b]] = src[i]
+			cnt[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &rs[0] {
+		copy(rs, src)
+	}
+	// Order runs of equal distance by id. Runs are almost always length
+	// 1 (insertion-sorted when short), but duplicate-heavy data — the
+	// dedup workloads — can project a whole cluster onto one distance,
+	// so long runs fall back to the O(g log g) comparison sort instead
+	// of going quadratic.
+	for start := 0; start < len(rs); {
+		end := start + 1
+		for end < len(rs) && rs[end].Dist == rs[start].Dist {
+			end++
+		}
+		switch run := rs[start:end]; {
+		case len(run) > 32:
+			slices.SortFunc(run, func(a, b Result) int {
+				switch {
+				case a.ID < b.ID:
+					return -1
+				case a.ID > b.ID:
+					return 1
+				}
+				return 0
+			})
+		case len(run) > 1:
+			for i := 1; i < len(run); i++ {
+				v := run[i]
+				j := i - 1
+				for j >= 0 && run[j].ID > v.ID {
+					run[j+1] = run[j]
+					j--
+				}
+				run[j+1] = v
+			}
+		}
+		start = end
+	}
 }
 
 // KNNBatch answers many (c,k)-ANN queries concurrently: queries are
@@ -865,14 +1043,24 @@ func (ix *Index) BallCover(q []float64, r, c float64) (*Result, error) {
 	n := ix.data.Live()
 	betaN := int(math.Ceil(params.Beta * float64(n)))
 
-	qp := ix.proj.Project(q)
-	projRes, err := ix.pidx.RangeSearch(qp, params.T*r)
+	// One streamed range expansion to t·r (a single-round query on the
+	// same enumerator machinery as KNNWithStats); the candidates are
+	// sorted into the order the old materializing RangeSearch returned
+	// them in, so verification — and the tie-breaking of equal best
+	// distances with it — is unchanged.
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	qp := ix.projectInto(sc, q)
+	en, err := ix.pidx.resetEnum(sc, qp)
 	if err != nil {
 		return nil, err
 	}
+	sc.emit = sc.emit[:0]
+	en.Expand(params.T*r, sc.emitFn)
+	sc.sortEmit()
 	// Track the best candidate in squared space with early abandonment.
 	best := Result{ID: -1, Dist: math.Inf(1)}
-	for _, pr := range projRes {
+	for _, pr := range sc.emit {
 		d2 := vec.SquaredL2Bounded(q, ix.point(pr.ID), best.Dist)
 		if d2 < best.Dist {
 			best = Result{ID: pr.ID, Dist: d2}
@@ -882,7 +1070,7 @@ func (ix *Index) BallCover(q []float64, r, c float64) (*Result, error) {
 		best.Dist = math.Sqrt(best.Dist)
 	}
 	switch {
-	case len(projRes) >= betaN+1:
+	case len(sc.emit) >= betaN+1:
 		// Lemma 5 case 1: candidate overflow guarantees a hit in B(q,cr).
 		return &best, nil
 	case best.ID >= 0 && best.Dist <= c*r:

@@ -1,0 +1,499 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// This file pins the streaming query engine to the restart-loop
+// reference: the pre-enumerator Algorithm 2, which issued a fresh
+// RangeSearch from the root every round and deduplicated re-returned
+// candidates with per-query marks. The reference below is that code,
+// retained verbatim (marks as a map); its RangeSearch goes through the
+// trees' public API, which the tree packages pin bit-identical to
+// their retained recursive traversals.
+
+// refRangeSearch materializes one full range query through the
+// backend's public RangeSearch, as the restart loop did.
+func refRangeSearch(ix *Index, q []float64, r float64) ([]Result, error) {
+	switch a := ix.pidx.(type) {
+	case pmAdapter:
+		res, err := a.t.RangeSearch(q, r)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, len(res))
+		for i, x := range res {
+			out[i] = Result{ID: x.ID, Dist: x.Dist}
+		}
+		return out, nil
+	case rtAdapter:
+		res, err := a.t.RangeSearch(q, r)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, len(res))
+		for i, x := range res {
+			out[i] = Result{ID: x.ID, Dist: x.Dist}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown projected index %T", ix.pidx)
+	}
+}
+
+// refKNNWithStats is the restart-loop KNNWithStats.
+func refKNNWithStats(ix *Index, q []float64, k int, c float64) ([]Result, QueryStats, error) {
+	var st QueryStats
+	if len(q) != ix.dim {
+		return nil, st, fmt.Errorf("core: query has dimension %d, index expects %d", len(q), ix.dim)
+	}
+	if k <= 0 {
+		return nil, st, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if c <= 0 {
+		c = DefaultC
+	}
+	params, err := ix.DeriveParams(c)
+	if err != nil {
+		return nil, st, err
+	}
+	n := ix.data.Live()
+	if n == 0 {
+		return nil, st, nil
+	}
+	needed := int(math.Ceil(params.Beta*float64(n))) + k
+	r := ix.distQuantile(float64(needed)/float64(n)) * ix.cfg.RMinShrink
+	if r <= 0 {
+		r = ix.smallestPositiveDistance()
+	}
+
+	qp := ix.proj.Project(q)
+	seen := make(map[int32]bool)
+	distStart := ix.pidx.DistanceComputations()
+	top := make([]Result, 0, k)
+	bound := math.Inf(1)
+	for {
+		st.Rounds++
+		projRes, err := refRangeSearch(ix, qp, params.T*r)
+		if err != nil {
+			return nil, st, err
+		}
+		for _, pr := range projRes {
+			if seen[pr.ID] {
+				continue
+			}
+			seen[pr.ID] = true
+			st.Verified++
+			d2 := vec.SquaredL2Bounded(q, ix.point(pr.ID), bound)
+			if len(top) < k || d2 < bound {
+				top = insertCandidate(top, Result{ID: pr.ID, Dist: d2}, k)
+				if len(top) == k {
+					bound = top[k-1].Dist
+				}
+			}
+			if st.Verified >= needed {
+				break
+			}
+		}
+		if st.Verified >= needed {
+			break
+		}
+		if cr := c * r; kthWithin(top, k, cr*cr) {
+			break
+		}
+		if st.Verified >= n {
+			break
+		}
+		r *= c
+	}
+	st.FinalRadius = r
+	st.ProjectedDistComps = ix.pidx.DistanceComputations() - distStart
+	for i := range top {
+		top[i].Dist = math.Sqrt(top[i].Dist)
+	}
+	return top, st, nil
+}
+
+// refBallCover is the restart-era BallCover (one materialized range
+// query).
+func refBallCover(ix *Index, q []float64, r, c float64) (*Result, error) {
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("core: query has dimension %d, index expects %d", len(q), ix.dim)
+	}
+	if r <= 0 {
+		return nil, fmt.Errorf("core: radius must be positive, got %v", r)
+	}
+	params, err := ix.DeriveParams(c)
+	if err != nil {
+		return nil, err
+	}
+	n := ix.data.Live()
+	betaN := int(math.Ceil(params.Beta * float64(n)))
+	projRes, err := refRangeSearch(ix, ix.proj.Project(q), params.T*r)
+	if err != nil {
+		return nil, err
+	}
+	best := Result{ID: -1, Dist: math.Inf(1)}
+	for _, pr := range projRes {
+		d2 := vec.SquaredL2Bounded(q, ix.point(pr.ID), best.Dist)
+		if d2 < best.Dist {
+			best = Result{ID: pr.ID, Dist: d2}
+		}
+	}
+	if best.ID >= 0 {
+		best.Dist = math.Sqrt(best.Dist)
+	}
+	switch {
+	case len(projRes) >= betaN+1:
+		return &best, nil
+	case best.ID >= 0 && best.Dist <= c*r:
+		return &best, nil
+	default:
+		return nil, nil
+	}
+}
+
+// randomStreamIndex builds an index under a randomized configuration —
+// projected dimensionality, pivots (including the plain-M-tree s=0 and
+// R-tree ablations), node capacity, candidate fraction — over random
+// clustered data, churned through the public mutation API half the
+// time. Returns the index and live query sources.
+func randomStreamIndex(tb testing.TB, rng *rand.Rand) (*Index, [][]float64) {
+	tb.Helper()
+	n := 200 + rng.Intn(400)
+	dim := 8 + rng.Intn(24)
+	clusters := 1 + rng.Intn(8)
+	centers := make([][]float64, clusters)
+	for i := range centers {
+		centers[i] = make([]float64, dim)
+		for j := range centers[i] {
+			centers[i][j] = rng.NormFloat64() * 8
+		}
+	}
+	data := make([][]float64, n)
+	for i := range data {
+		c := centers[rng.Intn(clusters)]
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = c[j] + rng.NormFloat64()
+		}
+		data[i] = p
+	}
+	cfg := Config{
+		M:                   []int{5, 10, 15}[rng.Intn(3)],
+		NumPivots:           rng.Intn(6),
+		ExplicitZeroPivots:  true,
+		Capacity:            []int{0, 8, 32}[rng.Intn(3)],
+		Seed:                rng.Int63(),
+		DistSampleSize:      2000,
+		UseRTree:            rng.Intn(3) == 0,
+		AutoCompactFraction: -1,
+	}
+	if rng.Intn(2) == 0 {
+		cfg.RMinShrink = 0.2 + 0.6*rng.Float64() // smaller r_min → more rounds
+	}
+	ix, err := Build(data, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if rng.Intn(2) == 0 { // churn half the time
+		for i := 0; i < 40; i++ {
+			if err := ix.Delete(int32(rng.Intn(n))); err != nil {
+				// Already deleted: fine, try another.
+				continue
+			}
+		}
+		for i := 0; i < 25; i++ {
+			base := data[rng.Intn(n)]
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = base[j] + 0.1*rng.NormFloat64()
+			}
+			if _, err := ix.Insert(p); err != nil {
+				tb.Fatal(err)
+			}
+			data = append(data, p)
+		}
+	}
+	return ix, data
+}
+
+// TestStreamingMatchesRestartLoopReference is the randomized
+// equivalence suite: across projected dimensionalities, pivot counts,
+// both tree backends and churned indexes, the streaming engine's
+// answers — ids, distances, and the per-query statistics the radius
+// schedule exposes — are element-wise identical to the restart-loop
+// reference.
+func TestStreamingMatchesRestartLoopReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 25; trial++ {
+		ix, data := randomStreamIndex(t, rng)
+		for qi := 0; qi < 8; qi++ {
+			q := data[rng.Intn(len(data))]
+			k := []int{1, 5, 20}[qi%3]
+			c := []float64{1.2, 1.5, 2.0}[qi%3]
+			want, wantSt, err := refKNNWithStats(ix, q, k, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotSt, err := ix.KNNWithStats(q, k, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d q%d: got %d results, want %d", trial, qi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d q%d: result %d = %+v, want %+v (rounds %d/%d)",
+						trial, qi, i, got[i], want[i], gotSt.Rounds, wantSt.Rounds)
+				}
+			}
+			if gotSt.Rounds != wantSt.Rounds || gotSt.Verified != wantSt.Verified ||
+				gotSt.FinalRadius != wantSt.FinalRadius {
+				t.Fatalf("trial %d q%d: stats %+v, want Rounds/Verified/FinalRadius of %+v",
+					trial, qi, gotSt, wantSt)
+			}
+		}
+	}
+}
+
+// TestBallCoverMatchesReference pins the streamed (r,c)-BC query to the
+// materializing reference.
+func TestBallCoverMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 15; trial++ {
+		ix, data := randomStreamIndex(t, rng)
+		for qi := 0; qi < 6; qi++ {
+			q := data[rng.Intn(len(data))]
+			r := 0.1 + rng.Float64()*10
+			c := []float64{1.2, 1.5, 2.0}[qi%3]
+			want, err := refBallCover(ix, q, r, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ix.BallCover(q, r, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch {
+			case (got == nil) != (want == nil):
+				t.Fatalf("trial %d q%d: got %v, want %v", trial, qi, got, want)
+			case got != nil && *got != *want:
+				t.Fatalf("trial %d q%d: got %+v, want %+v", trial, qi, *got, *want)
+			}
+		}
+	}
+}
+
+// TestProjectedDistCompsStrictlyDecrease is the acceptance assertion:
+// on an identical index and query, a query that takes two or more
+// rounds pays strictly fewer projected-space metric evaluations under
+// the streaming engine than under the restart loop (which re-traverses
+// the whole tree — and recomputes the query's pivot distances — every
+// round).
+func TestProjectedDistCompsStrictlyDecrease(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	dim := 24
+	data := make([][]float64, 2000)
+	for i := range data {
+		data[i] = make([]float64, dim)
+		for j := range data[i] {
+			data[i][j] = rng.NormFloat64() * 4
+		}
+	}
+	// A small candidate fraction plus an aggressively shrunk first
+	// radius forces the multi-round regime the enumerator exists for.
+	ix, err := Build(data, Config{Seed: 7, Beta: 0.005, RMinShrink: 0.25, DistSampleSize: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiRound := 0
+	for qi := 0; qi < 40 && multiRound < 5; qi++ {
+		q := data[rng.Intn(len(data))]
+		got, gotSt, err := ix.KNNWithStats(q, 10, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotSt.Rounds < 2 {
+			continue
+		}
+		multiRound++
+		want, wantSt, err := refKNNWithStats(ix, q, 10, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantSt.Rounds != gotSt.Rounds {
+			t.Fatalf("query %d: rounds diverged (%d vs %d)", qi, gotSt.Rounds, wantSt.Rounds)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: result %d = %+v, want %+v", qi, i, got[i], want[i])
+			}
+		}
+		if gotSt.ProjectedDistComps >= wantSt.ProjectedDistComps {
+			t.Fatalf("query %d (%d rounds): streaming paid %d projected distance computations, restart loop %d",
+				qi, gotSt.Rounds, gotSt.ProjectedDistComps, wantSt.ProjectedDistComps)
+		}
+	}
+	if multiRound == 0 {
+		t.Fatal("no multi-round query found; the config no longer forces radius enlargement")
+	}
+}
+
+// TestConcurrentQueriesOverPooledScratch hammers the pooled enumerator
+// scratch from many goroutines (run under -race in CI): concurrent
+// KNNWithStats, KNNBatch and BallCover on one index must never share
+// per-query state.
+func TestConcurrentQueriesOverPooledScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	ix, data := randomStreamIndex(t, rng)
+	q0 := data[0]
+	want, _, err := ix.KNNWithStats(q0, 10, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]float64, 16)
+	for i := range batch {
+		batch[i] = data[rng.Intn(len(data))]
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					got, _, err := ix.KNNWithStats(q0, 10, 1.5)
+					if err == nil {
+						for j := range got {
+							if got[j] != want[j] {
+								err = fmt.Errorf("concurrent KNN diverged at %d", j)
+							}
+						}
+					}
+					errs[g] = err
+				case 1:
+					if _, err := ix.KNNBatch(batch, 5, 1.5); err != nil {
+						errs[g] = err
+					}
+				case 2:
+					if _, err := ix.BallCover(q0, 1.0, 1.5); err != nil {
+						errs[g] = err
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestReplaceSorted pins the incremental distance-sample refresh to the
+// remove-and-reinsert semantics a full re-sort would produce.
+func TestReplaceSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = math.Round(rng.Float64()*20) / 2 // duplicates on purpose
+		}
+		sort.Float64s(s)
+		j := rng.Intn(n)
+		d := math.Round(rng.Float64()*20) / 2
+		want := append([]float64(nil), s...)
+		want[j] = d
+		sort.Float64s(want)
+		replaceSorted(s, j, d)
+		for i := range s {
+			if s[i] != want[i] {
+				t.Fatalf("trial %d: replaceSorted(j=%d, d=%v) = %v, want %v", trial, j, d, s, want)
+			}
+		}
+	}
+}
+
+// TestInsertKeepsDistCDFSorted checks the incremental refresh on the
+// real Insert path: the empirical distribution stays sorted through
+// heavy insertion (a violated invariant would silently corrupt every
+// r_min quantile lookup).
+func TestInsertKeepsDistCDFSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	dim := 6
+	data := make([][]float64, 120)
+	for i := range data {
+		data[i] = make([]float64, dim)
+		for j := range data[i] {
+			data[i][j] = rng.NormFloat64()
+		}
+	}
+	ix, err := Build(data, Config{Seed: 11, DistSampleSize: 500, AutoCompactFraction: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64() * 3
+		}
+		if _, err := ix.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 && !sort.Float64sAreSorted(ix.distCDF) {
+			t.Fatalf("distCDF unsorted after %d inserts", i+1)
+		}
+	}
+	if !sort.Float64sAreSorted(ix.distCDF) {
+		t.Fatal("distCDF unsorted after insertion burst")
+	}
+}
+
+// TestSortEmitMatchesComparisonSort pins the radix path of sortEmit to
+// the comparison sort across adversarial inputs (duplicate distances,
+// shared exponent bytes, already-sorted and reversed runs).
+func TestSortEmitMatchesComparisonSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	sc := &queryScratch{}
+	for trial := 0; trial < 120; trial++ {
+		n := radixSortThreshold + rng.Intn(3000)
+		rs := make([]Result, n)
+		mode := trial % 4
+		for i := range rs {
+			var d float64
+			switch mode {
+			case 0:
+				d = rng.Float64() * 1000
+			case 1:
+				d = 100 + rng.Float64() // narrow range: shared high bytes
+			case 2:
+				d = float64(rng.Intn(8)) // heavy duplicates
+			case 3:
+				d = float64(i) // pre-sorted
+			}
+			rs[i] = Result{ID: int32(rng.Intn(n)), Dist: d}
+		}
+		want := append([]Result(nil), rs...)
+		sortResultsByDistID(want)
+		sc.emit = rs
+		sc.sortEmit()
+		for i := range rs {
+			if rs[i] != want[i] {
+				t.Fatalf("trial %d (mode %d): element %d = %+v, want %+v", trial, mode, i, rs[i], want[i])
+			}
+		}
+	}
+}

@@ -229,15 +229,30 @@ func (t *Tree) packLeaf(rs []int32, ids []int32, mm *minimaxResult) routingEntry
 	dm, best, bestRadius := mm.dm, mm.best, mm.radius
 
 	leaf := &node{leaf: true, entries: make([]leafEntry, 0, m)}
-	hr := newEmptyIntervals(len(t.pivots))
+	s := len(t.pivots)
+	hr := newEmptyIntervals(s)
+	// One contiguous pivot-distance block per leaf (entries subslice
+	// it), so leaf scans walk sequential memory instead of chasing one
+	// small allocation per entry.
+	var pdAll []float64
+	if s > 0 {
+		pdAll = make([]float64, m*s)
+	}
 	for i, row := range rs {
 		id := row
 		if ids != nil {
 			id = ids[row]
 		}
-		pd := t.pivotDistances(t.points.Row(int(row)))
-		for k, d := range pd {
-			hr[k].extend(d)
+		var pd []float64
+		if s > 0 {
+			pd = pdAll[i*s : (i+1)*s : (i+1)*s]
+			p := t.points.Row(int(row))
+			for k, pv := range t.pivots {
+				pd[k] = t.dist(p, pv)
+			}
+			for k, d := range pd {
+				hr[k].extend(d)
+			}
 		}
 		leaf.entries = append(leaf.entries, leafEntry{
 			row: row, id: id, parentDist: dm[best*m+i], pivotDist: pd,

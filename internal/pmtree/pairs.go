@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/heapq"
 	"repro/internal/vec"
 )
 
@@ -44,7 +45,7 @@ import (
 // sorted entry layouts (see leafJoin) instead of an O(capacity²) scan.
 type PairEnumerator struct {
 	t      *Tree
-	pq     pairHeap
+	pq     heapq.Heap[pairItem]
 	nodes  []nodePairArena // side arena for queued node pairs
 	cutoff float64
 	done   bool
@@ -121,56 +122,16 @@ type pairItem struct {
 	kind  uint8
 }
 
-// pairHeap is a hand-rolled binary heap of pairItems (container/heap
-// would box every item in an interface, and the enumerator pushes one
-// item per surviving candidate pair).
-type pairHeap struct{ items []pairItem }
-
-func (h *pairHeap) len() int { return len(h.items) }
-
-func (h *pairHeap) less(i, j int) bool {
-	a, b := &h.items[i], &h.items[j]
+// Less orders the queue by bound; on equal bounds the more refined
+// item pops first, so finished pairs surface before coarser items at
+// the same bound trigger further expansion (heapq.Heap element —
+// container/heap would box every item in an interface, and the
+// enumerator pushes one item per surviving candidate pair).
+func (a pairItem) Less(b pairItem) bool {
 	if a.bound != b.bound {
 		return a.bound < b.bound
 	}
 	return a.kind > b.kind
-}
-
-func (h *pairHeap) push(it pairItem) {
-	h.items = append(h.items, it)
-	i := len(h.items) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h.items[i], h.items[parent] = h.items[parent], h.items[i]
-		i = parent
-	}
-}
-
-func (h *pairHeap) pop() pairItem {
-	top := h.items[0]
-	last := len(h.items) - 1
-	h.items[0] = h.items[last]
-	h.items = h.items[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < last && h.less(l, smallest) {
-			smallest = l
-		}
-		if r < last && h.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
-		i = smallest
-	}
-	return top
 }
 
 // dist evaluates the metric, counting locally (see pending fields).
@@ -233,15 +194,15 @@ func (e *PairEnumerator) Next() (PairCandidate, bool) {
 			e.expand(np.a, np.b)
 			continue
 		}
-		if e.pq.len() == 0 {
+		if e.pq.Len() == 0 {
 			break
 		}
 		// The heap is popped in nondecreasing bound order, so a front
 		// above the cutoff means everything left is above it too.
-		if e.pq.items[0].bound > e.cutoff {
+		if e.pq.Min().bound > e.cutoff {
 			break
 		}
-		it := e.pq.pop()
+		it := e.pq.Pop()
 		if it.kind == kindExactPair {
 			e.flushStats()
 			return PairCandidate{ID1: it.id1, ID2: it.id2, Dist: it.bound}, true
@@ -384,7 +345,7 @@ func (e *PairEnumerator) expandLeafPair(na, nb *node) {
 			if id2 < id1 {
 				id1, id2 = id2, id1
 			}
-			e.pq.push(pairItem{bound: d, kind: kindExactPair, id1: id1, id2: id2})
+			e.pq.Push(pairItem{bound: d, kind: kindExactPair, id1: id1, id2: id2})
 		}
 	}
 	e.pendingDist += exact
@@ -405,7 +366,7 @@ func (e *PairEnumerator) pushNodes(a, b pairRegion) {
 		e.stack = append(e.stack, it)
 		return
 	}
-	e.pq.push(it)
+	e.pq.Push(it)
 }
 
 // regionBound lower-bounds the distance between any point below a and

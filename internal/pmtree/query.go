@@ -1,10 +1,11 @@
 package pmtree
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/heapq"
 )
 
 // Result is one point returned by a query.
@@ -14,13 +15,20 @@ type Result struct {
 }
 
 // RangeSearch returns every indexed point within distance r of q (the
-// paper's range(q, r)), sorted by distance. The traversal is
-// depth-first and applies, in order of increasing cost:
+// paper's range(q, r)), sorted by distance. It runs on the resumable
+// range enumerator (one Expand to the full radius; see
+// rangeSearchViaEnumerator), which applies, in order of increasing
+// cost:
 //
 //  1. the hyper-ring filters (Eq. 5's ∧ terms) — the query's pivot
 //     distances are computed once per query;
 //  2. the M-tree parent-distance filter |d(q,par) − e.PD| > r + e.r;
 //  3. the ball test d(q, e.RO) > r + e.r.
+//
+// Callers that enlarge the radius round after round (Algorithm 2)
+// should hold a RangeEnumerator and call Expand per round instead:
+// RangeSearch is a one-shot convenience that pays a fresh traversal
+// per call.
 func (t *Tree) RangeSearch(q []float64, r float64) ([]Result, error) {
 	if len(q) != t.dim {
 		return nil, fmt.Errorf("pmtree: query has dimension %d, tree expects %d", len(q), t.dim)
@@ -31,16 +39,39 @@ func (t *Tree) RangeSearch(q []float64, r float64) ([]Result, error) {
 	if t.count == 0 {
 		return nil, nil
 	}
-	qp := t.pivotDistances(q)
+	return t.rangeSearchViaEnumerator(q, r), nil
+}
+
+// rangeSearchViaEnumerator is the public RangeSearch surviving on the
+// enumerator machinery: one frontier expansion to the full radius,
+// results sorted by (distance, id) exactly as the retained recursive
+// implementation sorts them. The pruning tests the enumerator applies
+// are the recursive traversal's skip tests rewritten as lower bounds,
+// so for a single radius the two perform the identical metric
+// evaluations and return bit-identical results (pinned by
+// TestRangeSearchMatchesRecursiveReference).
+func (t *Tree) rangeSearchViaEnumerator(q []float64, r float64) []Result {
+	var e RangeEnumerator
+	// Reset cannot fail: the dimension was validated by the caller.
+	if err := e.Reset(t, q); err != nil {
+		panic(err)
+	}
 	var out []Result
-	t.rangeNode(t.root, q, nil, 0, r, qp, &out)
+	e.Expand(r, func(id int32, d float64) {
+		out = append(out, Result{ID: id, Dist: d})
+	})
+	sortResults(out)
+	return out
+}
+
+// sortResults orders query output by (distance, id).
+func sortResults(out []Result) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Dist != out[j].Dist {
 			return out[i].Dist < out[j].Dist
 		}
 		return out[i].ID < out[j].ID
 	})
-	return out, nil
 }
 
 // ringPrune reports whether the hyper-rings exclude any point within
@@ -55,10 +86,14 @@ func ringPrune(qp []float64, hr []Interval, r float64) bool {
 	return false
 }
 
-// rangeNode recurses into n. qParentDist is d(q, routing object of n)
-// (0 and unused at the root, where parentKnown is false via parent ==
-// nil).
-func (t *Tree) rangeNode(n *node, q, parent []float64, qParentDist, r float64, qp []float64, out *[]Result) {
+// rangeSearchRec is the original depth-first range search, retained
+// verbatim as the reference implementation the streaming enumerator is
+// verified against (TestRangeSearchMatchesRecursiveReference and the
+// core engine's equivalence suite) and as the zero-allocation traversal
+// behind RangeCount. qParentDist is d(q, routing object of n) (0 and
+// unused at the root, where parent == nil). visit is called once per
+// qualifying point, in traversal order.
+func (t *Tree) rangeSearchRec(n *node, q, parent []float64, qParentDist, r float64, qp []float64, visit func(id int32, d float64)) {
 	t.nodeAccesses.Add(1)
 	if n.leaf {
 		for i := range n.entries {
@@ -77,7 +112,7 @@ func (t *Tree) rangeNode(n *node, q, parent []float64, qParentDist, r float64, q
 				continue
 			}
 			if d := t.dist(q, t.leafPoint(e)); d <= r {
-				*out = append(*out, Result{ID: e.id, Dist: d})
+				visit(e.id, d)
 			}
 		}
 		return
@@ -94,14 +129,29 @@ func (t *Tree) rangeNode(n *node, q, parent []float64, qParentDist, r float64, q
 		if d > r+e.radius {
 			continue
 		}
-		t.rangeNode(e.child, q, e.center, d, r, qp, out)
+		t.rangeSearchRec(e.child, q, e.center, d, r, qp, visit)
 	}
 }
 
-// RangeCount returns only the number of points within r of q.
+// RangeCount returns only the number of points within r of q. It is a
+// counting traversal over rangeSearchRec: no result slice is
+// materialized (the only allocation is the s pivot distances — the
+// counting visitor does not escape), pinned equal to
+// len(RangeSearch(q, r)) by TestRangeCountMatchesRangeSearch.
 func (t *Tree) RangeCount(q []float64, r float64) (int, error) {
-	res, err := t.RangeSearch(q, r)
-	return len(res), err
+	if len(q) != t.dim {
+		return 0, fmt.Errorf("pmtree: query has dimension %d, tree expects %d", len(q), t.dim)
+	}
+	if r < 0 {
+		return 0, fmt.Errorf("pmtree: negative radius %v", r)
+	}
+	if t.count == 0 {
+		return 0, nil
+	}
+	qp := t.pivotDistances(q)
+	count := 0
+	t.rangeSearchRec(t.root, q, nil, 0, r, qp, func(int32, float64) { count++ })
+	return count, nil
 }
 
 // knnItem is a priority-queue element for best-first kNN: either a node
@@ -110,28 +160,25 @@ type knnItem struct {
 	node  *node
 	isPt  bool
 	id    int32
-	point []float64 // routing object for nodes
-	bound float64   // dmin for nodes, exact distance for points
+	bound float64 // dmin for nodes, exact distance for points
 }
 
-type knnQueue []knnItem
+// Less orders the best-first queue by bound (heapq.Heap element).
+func (a knnItem) Less(b knnItem) bool { return a.bound < b.bound }
 
-func (h knnQueue) Len() int            { return len(h) }
-func (h knnQueue) Less(i, j int) bool  { return h[i].bound < h[j].bound }
-func (h knnQueue) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *knnQueue) Push(x interface{}) { *h = append(*h, x.(knnItem)) }
-func (h *knnQueue) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
+// knnQueuePrealloc is the initial frontier capacity of one kNN search:
+// large enough that typical queries never grow the heap, small enough
+// to be an irrelevant one-time cost.
+const knnQueuePrealloc = 128
 
 // KNNSearch returns the k nearest indexed points to q, sorted by
 // distance, using the Hjaltason–Samet best-first traversal with the
 // M-tree dmin bound max(0, d(q,RO) − r) sharpened by the hyper-ring
-// lower bound max_i(|d(q,p_i) − nearest ring edge|).
+// lower bound max_i(|d(q,p_i) − nearest ring edge|). The frontier is
+// the same pointer-light generic heap the range enumerator uses;
+// container/heap would box every pushed item in an interface{} — one
+// allocation per surviving candidate (TestKNNSearchAllocations pins
+// the difference).
 func (t *Tree) KNNSearch(q []float64, k int) ([]Result, error) {
 	if len(q) != t.dim {
 		return nil, fmt.Errorf("pmtree: query has dimension %d, tree expects %d", len(q), t.dim)
@@ -144,13 +191,13 @@ func (t *Tree) KNNSearch(q []float64, k int) ([]Result, error) {
 	}
 	qp := t.pivotDistances(q)
 
-	pq := &knnQueue{}
-	heap.Init(pq)
-	heap.Push(pq, knnItem{node: t.root, bound: 0})
+	var pq heapq.Heap[knnItem]
+	pq.Grow(knnQueuePrealloc)
+	pq.Push(knnItem{node: t.root, bound: 0})
 
-	var out []Result
+	out := make([]Result, 0, min(k, t.count))
 	for pq.Len() > 0 {
-		it := heap.Pop(pq).(knnItem)
+		it := pq.Pop()
 		if len(out) >= k && it.bound > (out)[len(out)-1].Dist {
 			break
 		}
@@ -175,7 +222,7 @@ func (t *Tree) KNNSearch(q []float64, k int) ([]Result, error) {
 				}
 				d := t.dist(q, t.leafPoint(e))
 				if len(out) < k || d < out[len(out)-1].Dist {
-					heap.Push(pq, knnItem{isPt: true, id: e.id, bound: d})
+					pq.Push(knnItem{isPt: true, id: e.id, bound: d})
 				}
 			}
 			continue
@@ -202,7 +249,7 @@ func (t *Tree) KNNSearch(q []float64, k int) ([]Result, error) {
 			if len(out) >= k && dmin > out[len(out)-1].Dist {
 				continue
 			}
-			heap.Push(pq, knnItem{node: e.child, point: e.center, bound: dmin})
+			pq.Push(knnItem{node: e.child, bound: dmin})
 		}
 	}
 	return out, nil

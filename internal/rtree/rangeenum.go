@@ -1,0 +1,179 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// RangeEnumerator is the R-tree counterpart of pmtree's resumable
+// range-expansion traversal: a frozen frontier of subtrees (keyed by
+// the squared MBR min-distance to the query) and points (keyed by
+// their exact squared distance), so that Algorithm 2's radius-enlarging
+// loop expands the frontier round after round instead of restarting
+// RangeSearch from the root. Every MBR test and every point distance is
+// paid at most once per query, not once per round.
+//
+// Expand(r) emits exactly the points with distance in (r_prev, r] —
+// see the pmtree enumerator for the bound-tightening argument; here it
+// is simpler still because the MBR min-distance is a single cheap
+// bound with no staged refinement. Like the pmtree enumerator the
+// frontier is an unsorted frozen list — freezing is a plain append and
+// each Expand makes one linear compaction sweep — because a round
+// resolves the whole bound ≤ r² prefix whatever the order.
+//
+// The zero value is ready for Reset; all internal state is reused
+// across Resets. The tree must not be mutated at all between Reset and
+// the last Expand — not concurrently, and not between rounds either
+// (the frontier holds node pointers and store rows; the index layer's
+// reader lock spans the whole query). The query slice q is retained
+// until the next Reset or Release.
+type RangeEnumerator struct {
+	t        *Tree
+	q        []float64
+	frozen   []rtRangeItem
+	arena    []*node // frozen subtrees, indexed by item.ref
+	radiusSq float64
+	emit     func(id int32, dist float64)
+
+	// pending* batch the tree's atomic statistics counters; flushed on
+	// every Expand return.
+	pendingDist  int64
+	pendingNodes int64
+}
+
+// Range-item kinds. ref indexes the node arena for rtNode; for
+// rtPointExact the bound is the exact squared distance of point id.
+const (
+	rtNode uint8 = iota
+	rtPointExact
+)
+
+// rtRangeItem is one frontier element (24 bytes, pointer-free; the
+// subtree pointer lives in the arena).
+type rtRangeItem struct {
+	bound float64 // squared
+	ref   int32
+	id    int32
+	kind  uint8
+}
+
+// NewRangeEnumerator returns an enumerator over t bound to q. Callers
+// that query in a loop should keep one RangeEnumerator and Reset it
+// per query instead.
+func (t *Tree) NewRangeEnumerator(q []float64) (*RangeEnumerator, error) {
+	e := &RangeEnumerator{}
+	if err := e.Reset(t, q); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Reset rebinds the enumerator to a tree and query point, restarting
+// the enumeration at radius −∞ with all buffers reused.
+func (e *RangeEnumerator) Reset(t *Tree, q []float64) error {
+	if len(q) != t.dim {
+		return fmt.Errorf("rtree: query has dimension %d, tree expects %d", len(q), t.dim)
+	}
+	e.t = t
+	e.q = q
+	e.radiusSq = math.Inf(-1)
+	e.frozen = e.frozen[:0]
+	e.arena = e.arena[:0]
+	if t.count > 0 {
+		e.arena = append(e.arena, t.root)
+		e.frozen = append(e.frozen, rtRangeItem{bound: 0, ref: 0, kind: rtNode})
+	}
+	return nil
+}
+
+// Release drops every reference the enumerator holds while keeping
+// buffer capacity (see pmtree.RangeEnumerator.Release).
+func (e *RangeEnumerator) Release() {
+	e.t = nil
+	e.q = nil
+	e.emit = nil
+	e.frozen = e.frozen[:0]
+	clear(e.arena[:cap(e.arena)])
+	e.arena = e.arena[:0]
+}
+
+// Expand raises the enumeration radius to r and streams every indexed
+// point with distance in (r_prev, r] — at most once per query across
+// all Expand calls — through emit as (id, exact distance). Radii are
+// expected to be nondecreasing; a smaller r is a no-op. The callback
+// must not call back into the enumerator. Emission order within one
+// Expand is unspecified.
+func (e *RangeEnumerator) Expand(r float64, emit func(id int32, dist float64)) {
+	if r2 := r * r; r2 > e.radiusSq {
+		e.radiusSq = r2
+	}
+	e.emit = emit
+	// One compaction sweep; items frozen during the sweep have bound >
+	// radius by construction and are kept when the sweep reaches them.
+	w := 0
+	for i := 0; i < len(e.frozen); i++ {
+		it := e.frozen[i]
+		if it.bound > e.radiusSq {
+			e.frozen[w] = it
+			w++
+			continue
+		}
+		if it.kind == rtPointExact {
+			e.emit(it.id, math.Sqrt(it.bound))
+			continue
+		}
+		e.expandNode(e.arena[it.ref])
+	}
+	e.frozen = e.frozen[:w]
+	e.emit = nil
+	e.flushStats()
+}
+
+// expandNode opens a node whose MBR bound is within the radius:
+// qualifying children are descended immediately (depth-first, like
+// RangeSearch), everything else is frozen.
+func (e *RangeEnumerator) expandNode(n *node) {
+	e.pendingNodes++
+	if n.leaf {
+		for i := range n.entries {
+			en := &n.entries[i]
+			e.pendingDist++
+			d2 := vec.SquaredL2(e.q, e.t.leafPoint(en))
+			if d2 <= e.radiusSq {
+				e.emit(en.id, math.Sqrt(d2))
+			} else {
+				e.frozen = append(e.frozen, rtRangeItem{bound: d2, id: en.id, kind: rtPointExact})
+			}
+		}
+		return
+	}
+	for i := range n.entries {
+		en := &n.entries[i]
+		// An inner-entry MBR test costs the same order of work as a
+		// point distance in the m-dimensional projected space; the
+		// node-based cost model (paper Eq. 9) charges every entry of an
+		// accessed node, so the counter does too.
+		e.pendingDist++
+		md := en.rect.MinDistSq(e.q)
+		if md <= e.radiusSq {
+			e.expandNode(en.child)
+			continue
+		}
+		e.arena = append(e.arena, en.child)
+		e.frozen = append(e.frozen, rtRangeItem{bound: md, ref: int32(len(e.arena) - 1), kind: rtNode})
+	}
+}
+
+// flushStats moves the batched counters into the tree's atomics.
+func (e *RangeEnumerator) flushStats() {
+	if e.pendingDist > 0 {
+		e.t.distCalcs.Add(e.pendingDist)
+		e.pendingDist = 0
+	}
+	if e.pendingNodes > 0 {
+		e.t.nodeAccesses.Add(e.pendingNodes)
+		e.pendingNodes = 0
+	}
+}

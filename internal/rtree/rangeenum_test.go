@@ -1,0 +1,209 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refRangeSearch runs the retained recursive traversal with the same
+// validation and ordering as the public RangeSearch.
+func refRangeSearch(t *Tree, q []float64, r float64) []Result {
+	if t.count == 0 {
+		return nil
+	}
+	var out []Result
+	t.rangeSearchRec(t.root, q, r*r, &out)
+	sortResults(out)
+	return out
+}
+
+// randomRTree builds a tree under a randomized configuration,
+// optionally churned, returning it with its live data.
+func randomRTree(tb testing.TB, rng *rand.Rand) (*Tree, [][]float64) {
+	tb.Helper()
+	n := 80 + rng.Intn(400)
+	dim := 2 + rng.Intn(10)
+	data := make([][]float64, n)
+	for i := range data {
+		data[i] = make([]float64, dim)
+		for j := range data[i] {
+			data[i][j] = rng.NormFloat64() * 5
+		}
+	}
+	tr, err := Build(data, nil, Config{Capacity: 4 + rng.Intn(20)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if rng.Intn(2) == 0 {
+		for i := 0; i < 40; i++ {
+			victim := rng.Intn(len(data))
+			if data[victim] == nil {
+				continue
+			}
+			if err := tr.Delete(data[victim], int32(victim)); err != nil {
+				tb.Fatal(err)
+			}
+			data[victim] = nil
+		}
+	}
+	live := data[:0:0]
+	for _, p := range data {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	return tr, live
+}
+
+func requireSameResults(tb testing.TB, label string, got, want []Result) {
+	tb.Helper()
+	if len(got) != len(want) {
+		tb.Fatalf("%s: got %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			tb.Fatalf("%s: result %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestRangeSearchMatchesRecursiveReference pins the enumerator-backed
+// RangeSearch bit-identical — ids, distances, order, and counter
+// deltas — to the retained recursive traversal.
+func TestRangeSearchMatchesRecursiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 40; trial++ {
+		tr, live := randomRTree(t, rng)
+		for qi := 0; qi < 10; qi++ {
+			q := live[rng.Intn(len(live))]
+			r := [...]float64{0, rng.Float64() * 5, rng.Float64() * 20, 1e6}[qi%4]
+			tr.ResetStats()
+			want := refRangeSearch(tr, q, r)
+			refDists := tr.DistanceComputations()
+			tr.ResetStats()
+			got, err := tr.RangeSearch(q, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotDists := tr.DistanceComputations()
+			requireSameResults(t, "RangeSearch vs recursive reference", got, want)
+			if gotDists != refDists {
+				t.Fatalf("trial %d: enumerator paid %d distance computations, reference %d",
+					trial, gotDists, refDists)
+			}
+		}
+	}
+}
+
+// TestRangeEnumeratorResumes mirrors the pmtree ladder test: one frozen
+// frontier expanded through growing radii emits each point exactly once
+// in its qualifying round, reproduces the final-radius RangeSearch, and
+// pays fewer MBR/point evaluations than restarting per rung.
+func TestRangeEnumeratorResumes(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 30; trial++ {
+		tr, live := randomRTree(t, rng)
+		q := live[rng.Intn(len(live))]
+		dists := make([]float64, len(live))
+		for i, p := range live {
+			var s float64
+			for j := range p {
+				d := p[j] - q[j]
+				s += d * d
+			}
+			dists[i] = math.Sqrt(s)
+		}
+		sort.Float64s(dists)
+		r := dists[min(20, len(dists)-1)]
+		var ladder []float64
+		for i := 0; i < 4; i++ {
+			ladder = append(ladder, r)
+			r *= 1.5
+		}
+
+		tr.ResetStats()
+		en, err := tr.NewRangeEnumerator(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[int32]bool)
+		var all []Result
+		prev := math.Inf(-1)
+		for _, rr := range ladder {
+			var round []Result
+			en.Expand(rr, func(id int32, d float64) {
+				round = append(round, Result{ID: id, Dist: d})
+			})
+			for _, res := range round {
+				if seen[res.ID] {
+					t.Fatalf("trial %d: id %d emitted twice", trial, res.ID)
+				}
+				seen[res.ID] = true
+				// The enumerator qualifies points in squared space
+				// (d² ∈ (prev², rr²]); the emitted sqrt can land exactly
+				// on a radius boundary, so compare with an ulp of slack.
+				if res.Dist > rr*(1+1e-12) || res.Dist < prev*(1-1e-12) {
+					t.Fatalf("trial %d: round at r=%v emitted distance %v (previous radius %v)",
+						trial, rr, res.Dist, prev)
+				}
+			}
+			all = append(all, round...)
+			prev = rr
+		}
+		streamDists := tr.DistanceComputations()
+		sortResults(all)
+
+		tr.ResetStats()
+		var want []Result
+		for _, rr := range ladder {
+			res, err := tr.RangeSearch(q, rr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = res
+		}
+		restartDists := tr.DistanceComputations()
+		requireSameResults(t, "resumed union vs final RangeSearch", all, want)
+		if streamDists >= restartDists {
+			t.Fatalf("trial %d: streaming paid %d evaluations, restart loop %d",
+				trial, streamDists, restartDists)
+		}
+	}
+}
+
+// TestRangeEnumeratorReuse pins the pooled Reset/Release lifecycle.
+func TestRangeEnumeratorReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	var e RangeEnumerator
+	for trial := 0; trial < 10; trial++ {
+		tr, live := randomRTree(t, rng)
+		q := live[rng.Intn(len(live))]
+		r := rng.Float64() * 10
+		if err := e.Reset(tr, q); err != nil {
+			t.Fatal(err)
+		}
+		var got []Result
+		e.Expand(r, func(id int32, d float64) {
+			got = append(got, Result{ID: id, Dist: d})
+		})
+		sortResults(got)
+		want, err := tr.RangeSearch(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResults(t, "reused enumerator", got, want)
+		e.Release()
+	}
+}
+
+func TestRangeEnumeratorValidation(t *testing.T) {
+	tr, err := Build([][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}}, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.NewRangeEnumerator([]float64{1}); err == nil {
+		t.Fatal("NewRangeEnumerator accepted a dimension mismatch")
+	}
+}

@@ -10,12 +10,12 @@
 package rtree
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/heapq"
 	"repro/internal/store"
 	"repro/internal/vec"
 )
@@ -443,7 +443,10 @@ type Result struct {
 }
 
 // RangeSearch returns all points within Euclidean distance r of q,
-// sorted by distance.
+// sorted by distance. It runs on the resumable range enumerator (one
+// Expand to the full radius); callers that enlarge the radius round
+// after round should hold a RangeEnumerator and call Expand per round
+// instead.
 func (t *Tree) RangeSearch(q []float64, r float64) ([]Result, error) {
 	if len(q) != t.dim {
 		return nil, fmt.Errorf("rtree: query has dimension %d, tree expects %d", len(q), t.dim)
@@ -454,19 +457,34 @@ func (t *Tree) RangeSearch(q []float64, r float64) ([]Result, error) {
 	if t.count == 0 {
 		return nil, nil
 	}
+	var e RangeEnumerator
+	// Reset cannot fail: the dimension was validated above.
+	if err := e.Reset(t, q); err != nil {
+		panic(err)
+	}
 	var out []Result
-	r2 := r * r
-	t.rangeNode(t.root, q, r2, &out)
+	e.Expand(r, func(id int32, d float64) {
+		out = append(out, Result{ID: id, Dist: d})
+	})
+	sortResults(out)
+	return out, nil
+}
+
+// sortResults orders query output by (distance, id).
+func sortResults(out []Result) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Dist != out[j].Dist {
 			return out[i].Dist < out[j].Dist
 		}
 		return out[i].ID < out[j].ID
 	})
-	return out, nil
 }
 
-func (t *Tree) rangeNode(n *node, q []float64, r2 float64, out *[]Result) {
+// rangeSearchRec is the original depth-first range search, retained
+// verbatim as the reference implementation the streaming enumerator is
+// verified against (TestRangeSearchMatchesRecursiveReference and the
+// core engine's equivalence suite).
+func (t *Tree) rangeSearchRec(n *node, q []float64, r2 float64, out *[]Result) {
 	t.nodeAccesses.Add(1)
 	if n.leaf {
 		for i := range n.entries {
@@ -480,13 +498,11 @@ func (t *Tree) rangeNode(n *node, q []float64, r2 float64, out *[]Result) {
 	}
 	for i := range n.entries {
 		e := &n.entries[i]
-		// An inner-entry MBR test costs the same order of work as a
-		// point distance in the m-dimensional projected space; the
-		// node-based cost model (paper Eq. 9) charges every entry of an
-		// accessed node, so the counter does too.
+		// See the matching comment in RangeEnumerator.expandNode: the
+		// cost model charges every entry of an accessed node.
 		t.distCalcs.Add(1)
 		if e.rect.MinDistSq(q) <= r2 {
-			t.rangeNode(e.child, q, r2, out)
+			t.rangeSearchRec(e.child, q, r2, out)
 		}
 	}
 }
@@ -526,34 +542,24 @@ func (t *Tree) checkQuery(q []float64, k int) error {
 
 // Iterator yields points in increasing distance from a query — the
 // incSearch primitive of SRS (best-first traversal with a global
-// priority queue over nodes and points).
+// priority queue over nodes and points). The queue is the same
+// interface-free generic heap the range enumerator uses, so pushing a
+// candidate no longer boxes it into an interface{}.
 type Iterator struct {
 	t  *Tree
 	q  []float64
-	pq incQueue
+	pq heapq.Heap[incItem]
 }
 
 type incItem struct {
 	node   *node
 	isPt   bool
 	id     int32
-	point  []float64
 	distSq float64
 }
 
-type incQueue []incItem
-
-func (h incQueue) Len() int            { return len(h) }
-func (h incQueue) Less(i, j int) bool  { return h[i].distSq < h[j].distSq }
-func (h incQueue) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *incQueue) Push(x interface{}) { *h = append(*h, x.(incItem)) }
-func (h *incQueue) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
+// Less orders the best-first queue by squared distance bound.
+func (a incItem) Less(b incItem) bool { return a.distSq < b.distSq }
 
 // NewIterator starts an incremental nearest-neighbor traversal from q.
 func (t *Tree) NewIterator(q []float64) (*Iterator, error) {
@@ -562,7 +568,7 @@ func (t *Tree) NewIterator(q []float64) (*Iterator, error) {
 	}
 	it := &Iterator{t: t, q: q}
 	if t.count > 0 {
-		heap.Push(&it.pq, incItem{node: t.root})
+		it.pq.Push(incItem{node: t.root})
 	}
 	return it, nil
 }
@@ -571,7 +577,7 @@ func (t *Tree) NewIterator(q []float64) (*Iterator, error) {
 // the tree is exhausted.
 func (it *Iterator) Next() (id int32, dist float64, ok bool) {
 	for it.pq.Len() > 0 {
-		item := heap.Pop(&it.pq).(incItem)
+		item := it.pq.Pop()
 		if item.isPt {
 			return item.id, math.Sqrt(item.distSq), true
 		}
@@ -581,13 +587,13 @@ func (it *Iterator) Next() (id int32, dist float64, ok bool) {
 			for i := range n.entries {
 				e := &n.entries[i]
 				it.t.distCalcs.Add(1)
-				heap.Push(&it.pq, incItem{isPt: true, id: e.id, distSq: vec.SquaredL2(it.q, it.t.leafPoint(e))})
+				it.pq.Push(incItem{isPt: true, id: e.id, distSq: vec.SquaredL2(it.q, it.t.leafPoint(e))})
 			}
 			continue
 		}
 		for i := range n.entries {
 			e := &n.entries[i]
-			heap.Push(&it.pq, incItem{node: e.child, distSq: e.rect.MinDistSq(it.q)})
+			it.pq.Push(incItem{node: e.child, distSq: e.rect.MinDistSq(it.q)})
 		}
 	}
 	return 0, 0, false
