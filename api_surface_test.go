@@ -1,0 +1,227 @@
+package pmlsh
+
+// Golden test over the public API surface: every exported declaration
+// of package pmlsh — functions, methods, types with their exported
+// shape, constants and variables — is rendered to a normalized listing
+// and diffed against testdata/api_surface.golden. CI runs the test on
+// every push, so an accidental breaking change (a removed method, a
+// changed signature, a renamed option) fails the build instead of
+// slipping into a release.
+//
+// After an INTENTIONAL surface change, regenerate the golden file:
+//
+//	go test -run TestPublicAPISurface -update-api-surface .
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPISurface = flag.Bool("update-api-surface", false,
+	"rewrite testdata/api_surface.golden from the current public API")
+
+const apiGoldenPath = "testdata/api_surface.golden"
+
+// apiSurface renders the exported surface of the package in this
+// directory: one normalized snippet per exported declaration, sorted,
+// comments and bodies stripped.
+func apiSurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(files)
+	var decls []string
+	for _, name := range files {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		for _, decl := range f.Decls {
+			for _, s := range renderExported(t, fset, decl) {
+				decls = append(decls, s)
+			}
+		}
+	}
+	sort.Strings(decls)
+	return strings.Join(decls, "\n") + "\n"
+}
+
+// renderExported returns the normalized snippets for one top-level
+// declaration, keeping only exported names (and, for methods, exported
+// receivers).
+func renderExported(t *testing.T, fset *token.FileSet, decl ast.Decl) []string {
+	t.Helper()
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedRecv(d.Recv) {
+			return nil
+		}
+		fn := *d
+		fn.Body = nil
+		fn.Doc = nil
+		return []string{render(t, fset, &fn)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if !sp.Name.IsExported() {
+					continue
+				}
+				ts := *sp
+				ts.Doc, ts.Comment = nil, nil
+				ts.Type = exportedShape(ts.Type)
+				out = append(out, fmt.Sprintf("type %s", render(t, fset, &ts)))
+			case *ast.ValueSpec:
+				vs := *sp
+				vs.Doc, vs.Comment = nil, nil
+				var names []*ast.Ident
+				for _, n := range vs.Names {
+					if n.IsExported() {
+						names = append(names, n)
+					}
+				}
+				if len(names) == 0 {
+					continue
+				}
+				vs.Names = names
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				out = append(out, fmt.Sprintf("%s %s", kw, render(t, fset, &vs)))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedShape strips unexported struct fields from a type
+// expression (mirroring go/doc and the api tool): internal layout
+// changes with zero public impact must not churn the golden listing. A
+// struct that hides fields is marked so hiding-vs-empty stays visible.
+func exportedShape(typ ast.Expr) ast.Expr {
+	st, ok := typ.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return typ
+	}
+	kept := make([]*ast.Field, 0, len(st.Fields.List))
+	hidden := false
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 { // embedded field: keep (name is the type)
+			kept = append(kept, f)
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			} else {
+				hidden = true
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		ff := *f
+		ff.Names = names
+		ff.Doc, ff.Comment = nil, nil
+		kept = append(kept, &ff)
+	}
+	if hidden {
+		kept = append(kept, &ast.Field{
+			Names: []*ast.Ident{ast.NewIdent("_")},
+			Type:  ast.NewIdent("unexportedFields"),
+		})
+	}
+	return &ast.StructType{Fields: &ast.FieldList{List: kept}}
+}
+
+func exportedRecv(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return true // plain function
+	}
+	typ := recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if id, ok := typ.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}
+
+func render(t *testing.T, fset *token.FileSet, node any) string {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 4}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestPublicAPISurface diffs the rendered surface against the golden
+// listing.
+func TestPublicAPISurface(t *testing.T) {
+	got := apiSurface(t)
+	if *updateAPISurface {
+		if err := os.MkdirAll(filepath.Dir(apiGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiGoldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", apiGoldenPath)
+		return
+	}
+	wantBytes, err := os.ReadFile(apiGoldenPath)
+	if err != nil {
+		t.Fatalf("reading golden listing (regenerate with -update-api-surface): %v", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	// Line-level diff so the failure names the drifted declarations.
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(want, "\n")
+	gotSet := make(map[string]bool, len(gotLines))
+	for _, l := range gotLines {
+		gotSet[l] = true
+	}
+	wantSet := make(map[string]bool, len(wantLines))
+	for _, l := range wantLines {
+		wantSet[l] = true
+	}
+	var sb strings.Builder
+	for _, l := range wantLines {
+		if !gotSet[l] {
+			fmt.Fprintf(&sb, "  - %s\n", l)
+		}
+	}
+	for _, l := range gotLines {
+		if !wantSet[l] {
+			fmt.Fprintf(&sb, "  + %s\n", l)
+		}
+	}
+	t.Fatalf("public API surface drifted from %s "+
+		"(intentional? regenerate with -update-api-surface):\n%s", apiGoldenPath, sb.String())
+}

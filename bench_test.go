@@ -9,6 +9,7 @@ package pmlsh
 // CHANGES.md records measured engine numbers per PR.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -243,6 +244,36 @@ func BenchmarkQueryK50(b *testing.B) {
 		pdc += st.ProjectedDistComps
 	}
 	b.ReportMetric(float64(pdc)/float64(b.N), "pdc/op")
+}
+
+// BenchmarkQueryK50Filtered is the headline query under WithFilter at
+// 50% selectivity (admit even ids): the filtered-search scenario the
+// request API exists for. The filter runs inside the verification
+// loop, so rejected candidates cost no exact distance; ver/op reports
+// the admitted verifications per query for comparison against the
+// unfiltered BenchmarkQueryK50.
+func BenchmarkQueryK50Filtered(b *testing.B) {
+	w := workload(b)
+	ix, err := Build(w.Dataset.Points, Config{Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	admit := func(id int32) bool { return id%2 == 0 }
+	var st QueryStats
+	opts := []SearchOption{WithRatio(1.5), WithFilter(admit), WithStats(&st)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pdc, verified int64
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(ctx, w.Queries[i%len(w.Queries)], 50, opts...); err != nil {
+			b.Fatal(err)
+		}
+		pdc += st.ProjectedDistComps
+		verified += int64(st.Verified)
+	}
+	b.ReportMetric(float64(pdc)/float64(b.N), "pdc/op")
+	b.ReportMetric(float64(verified)/float64(b.N), "ver/op")
 }
 
 // churnQEnv lazily prepares the mutation-lifecycle comparison: one
@@ -506,32 +537,31 @@ func BenchmarkNaiveDedupBallCover(b *testing.B) {
 	}
 }
 
-// BenchmarkKNNBatch fans the same query set across the KNNBatch worker
-// pool (GOMAXPROCS workers): the first-class concurrent read path. The
-// pdc/op metric (projected distance computations per batch) is
-// measured once, serially, before the timed loop: the batch answers
-// the identical queries, and the tree-wide counter cannot attribute
-// interleaved per-query deltas under concurrency.
+// BenchmarkKNNBatch fans the same query set across the SearchBatch
+// worker pool (GOMAXPROCS workers): the first-class concurrent read
+// path. The pdc/op metric (projected distance computations per batch)
+// is collected in the timed loop itself through WithBatchStats — the
+// per-query counters are exact under concurrency, so no serial
+// pre-measurement pass is needed.
 func BenchmarkKNNBatch(b *testing.B) {
 	w := workload(b)
 	ix, err := Build(w.Dataset.Points, Config{Seed: 5})
 	if err != nil {
 		b.Fatal(err)
 	}
-	var pdc int64
-	for _, q := range w.Queries {
-		_, st, err := ix.KNNWithStats(q, 50, 1.5)
-		if err != nil {
-			b.Fatal(err)
-		}
-		pdc += st.ProjectedDistComps
-	}
+	ctx := context.Background()
+	stats := make([]QueryStats, len(w.Queries))
+	opts := []SearchOption{WithRatio(1.5), WithBatchStats(stats)}
 	b.ReportAllocs()
 	b.ResetTimer()
+	var pdc int64
 	for i := 0; i < b.N; i++ {
-		if _, err := ix.KNNBatch(w.Queries, 50, 1.5); err != nil {
+		if _, err := ix.SearchBatch(ctx, w.Queries, 50, opts...); err != nil {
 			b.Fatal(err)
 		}
+		for j := range stats {
+			pdc += stats[j].ProjectedDistComps
+		}
 	}
-	b.ReportMetric(float64(pdc), "pdc/op")
+	b.ReportMetric(float64(pdc)/float64(b.N), "pdc/op")
 }

@@ -5,15 +5,21 @@
 // Usage:
 //
 //	pmlsh build -data vectors.f64 -index out.pmlsh [-m 15] [-pivots 5]
-//	pmlsh query -index out.pmlsh -k 10 -c 1.5 -point "0.1,0.2,..."
-//	pmlsh cp    -index out.pmlsh -k 10 -c 1.5 [-par]
-//	pmlsh bench -index out.pmlsh -k 10 -c 1.5 -queries 100 [-par] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	pmlsh query -index out.pmlsh -k 10 -c 1.5 -point "0.1,0.2,..." [-alpha1 0.2] [-budget 500] [-timeout 1s]
+//	pmlsh cp    -index out.pmlsh -k 10 -c 1.5 [-par] [-timeout 1s]
+//	pmlsh bench -index out.pmlsh -k 10 -c 1.5 -queries 100 [-par] [-timeout 10s] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	pmlsh churn -data vectors.f64 [-ops 2000] [-delfrac 0.4] [-k 10]
 //	pmlsh info  -index out.pmlsh
+//
+// Query subcommands run through the request API (Search, SearchBatch,
+// SearchPairs): -alpha1/-budget map to the per-query options, and
+// -timeout demonstrates cancellation — the query stops doing tree work
+// when the deadline fires and the command reports the context error.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -29,6 +35,15 @@ import (
 	pmlsh "repro"
 	"repro/internal/vec"
 )
+
+// queryCtx returns the request context for a subcommand: Background,
+// or a deadline-bearing child when -timeout is set.
+func queryCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), timeout)
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -107,6 +122,9 @@ func runQuery(args []string) error {
 	indexPath := fs.String("index", "", "index file")
 	k := fs.Int("k", 10, "neighbors")
 	c := fs.Float64("c", 1.5, "approximation ratio")
+	alpha1 := fs.Float64("alpha1", 0, "per-query confidence-interval width α1 (0 = index default)")
+	budget := fs.Int("budget", 0, "verification-budget override (0 = derived βn+k)")
+	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none)")
 	pointStr := fs.String("point", "", "comma-separated query coordinates")
 	fs.Parse(args)
 	if *indexPath == "" || *pointStr == "" {
@@ -120,14 +138,20 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, st, err := ix.KNNWithStats(q, *k, *c)
+	ctx, cancel := queryCtx(*timeout)
+	defer cancel()
+	var st pmlsh.QueryStats
+	res, err := ix.Search(ctx, q, *k,
+		pmlsh.WithRatio(*c), pmlsh.WithAlpha1(*alpha1), pmlsh.WithBudget(*budget),
+		pmlsh.WithStats(&st))
 	if err != nil {
 		return err
 	}
 	for i, nb := range res {
 		fmt.Printf("%2d. id=%-8d dist=%.6f\n", i+1, nb.ID, nb.Dist)
 	}
-	fmt.Printf("rounds=%d verified=%d\n", st.Rounds, st.Verified)
+	fmt.Printf("rounds=%d verified=%d projected-dist-comps=%d\n",
+		st.Rounds, st.Verified, st.ProjectedDistComps)
 	return nil
 }
 
@@ -140,6 +164,7 @@ func runCP(args []string) error {
 	k := fs.Int("k", 10, "number of closest pairs")
 	c := fs.Float64("c", 1.5, "approximation ratio")
 	par := fs.Bool("par", false, "fan pair verification across a GOMAXPROCS worker pool")
+	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none)")
 	fs.Parse(args)
 	if *indexPath == "" {
 		return fmt.Errorf("cp requires -index")
@@ -148,26 +173,27 @@ func runCP(args []string) error {
 	if err != nil {
 		return err
 	}
-	start := time.Now()
+	ctx, cancel := queryCtx(*timeout)
+	defer cancel()
+	opts := []pmlsh.SearchOption{pmlsh.WithRatio(*c)}
 	if *par {
-		pairs, err := ix.ClosestPairsParallel(*k, *c)
-		if err != nil {
-			return err
-		}
-		elapsed := time.Since(start)
-		printPairs(pairs)
-		fmt.Printf("parallel (%d workers), wall time %v\n",
-			runtime.GOMAXPROCS(0), elapsed.Round(time.Microsecond))
-		return nil
+		opts = append(opts, pmlsh.WithParallelVerify())
 	}
-	pairs, st, err := ix.ClosestPairsWithStats(*k, *c)
+	var st pmlsh.CPStats
+	opts = append(opts, pmlsh.WithPairStats(&st))
+	start := time.Now()
+	pairs, err := ix.SearchPairs(ctx, *k, opts...)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
 	printPairs(pairs)
-	fmt.Printf("enumerated=%d verified=%d projected-dist-comps=%d, wall time %v\n",
-		st.Enumerated, st.Verified, st.ProjectedDistComps, elapsed.Round(time.Microsecond))
+	mode := "serial"
+	if *par {
+		mode = fmt.Sprintf("parallel (%d workers)", runtime.GOMAXPROCS(0))
+	}
+	fmt.Printf("%s: enumerated=%d verified=%d projected-dist-comps=%d, wall time %v\n",
+		mode, st.Enumerated, st.Verified, st.ProjectedDistComps, elapsed.Round(time.Microsecond))
 	return nil
 }
 
@@ -184,7 +210,8 @@ func runBench(args []string) error {
 	c := fs.Float64("c", 1.5, "approximation ratio")
 	queries := fs.Int("queries", 100, "number of random data points to query")
 	seed := fs.Int64("seed", 1, "query sampling seed")
-	par := fs.Bool("par", false, "answer the query set with KNNBatch (parallel worker pool) and report aggregate QPS")
+	par := fs.Bool("par", false, "answer the query set with SearchBatch (parallel worker pool) and report aggregate QPS")
+	timeout := fs.Duration("timeout", 0, "deadline for the whole query loop (0 = none)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the query loop to this file (go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file after the query loop")
 	fs.Parse(args)
@@ -237,26 +264,35 @@ func runBench(args []string) error {
 		}
 		qs[i] = q
 	}
+	ctx, cancel := queryCtx(*timeout)
+	defer cancel()
 	if *par {
+		stats := make([]pmlsh.QueryStats, len(qs))
 		start := time.Now()
-		if _, err := ix.KNNBatch(qs, *k, *c); err != nil {
+		if _, err := ix.SearchBatch(ctx, qs, *k,
+			pmlsh.WithRatio(*c), pmlsh.WithBatchStats(stats)); err != nil {
 			return err
 		}
 		elapsed := time.Since(start)
+		var pdc int64
+		for _, st := range stats {
+			pdc += st.ProjectedDistComps
+		}
 		fmt.Printf("%d queries (batch, %d workers), k=%d, c=%.2f\n",
 			len(qs), runtime.GOMAXPROCS(0), *k, *c)
 		fmt.Printf("wall time: %v\n", elapsed.Round(time.Microsecond))
 		fmt.Printf("aggregate: %.0f queries/s\n", float64(len(qs))/elapsed.Seconds())
+		fmt.Printf("mean projected dist comps: %.0f/query (exact per query)\n",
+			float64(pdc)/float64(len(qs)))
 		return nil
 	}
 	start := time.Now()
 	verified := 0
+	var st pmlsh.QueryStats
 	for _, q := range qs {
-		res, st, err := ix.KNNWithStats(q, *k, *c)
-		if err != nil {
+		if _, err := ix.Search(ctx, q, *k, pmlsh.WithRatio(*c), pmlsh.WithStats(&st)); err != nil {
 			return err
 		}
-		_ = res
 		verified += st.Verified
 	}
 	elapsed := time.Since(start)

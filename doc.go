@@ -17,10 +17,56 @@
 //	data := ...                       // [][]float64, one row per point
 //	index, err := pmlsh.Build(data, pmlsh.Config{})
 //	if err != nil { ... }
-//	neighbors, err := index.KNN(query, 10, 1.5) // (c=1.5, k=10)-ANN
+//	neighbors, err := index.Search(ctx, query, 10) // (c=1.5, k=10)-ANN
 //
 // The zero Config uses the paper's evaluation defaults: m = 15 hash
 // functions, s = 5 PM-tree pivots, α₁ = 1/e.
+//
+// # Request API
+//
+// Every query goes through one options-driven entry point per query
+// family — Search (point ANN), SearchBatch (many point queries under
+// one lock acquisition), SearchPairs (closest pairs), SearchBall
+// (ball cover). Each takes a context plus functional options carrying
+// the per-query request parameters:
+//
+//	WithRatio(c)          approximation ratio (default 1.5)
+//	WithAlpha1(a)         per-query confidence width α₁ — widens or
+//	                      narrows the projected search radius T
+//	WithFilter(admit)     restrict results to admitted ids
+//	WithBudget(n)         cap on admitted exact-distance verifications
+//	WithStats(&st)        per-query work statistics (Search, SearchBall)
+//	WithBatchStats(sts)   per-query statistics for SearchBatch
+//	WithPairStats(&st)    statistics for SearchPairs
+//	WithParallelVerify()  parallel pair verification (SearchPairs)
+//
+// Cancellation: every entry point honors its context. Search checks
+// between range-expansion rounds, SearchBatch additionally between
+// work items, SearchPairs between rounds and verification batches — a
+// canceled request stops doing tree work, returns ctx.Err(), and
+// leaves the index fully usable.
+//
+// Filter cost model: WithFilter is pushed into the verification loop,
+// not applied to finished results. A filtered-out candidate costs one
+// predicate call — no exact distance computation — and the candidate
+// budget βn+k counts only admitted points, so the engine keeps
+// expanding its radius until k admitted results are found (or the
+// corpus is exhausted) instead of returning short. At s% selectivity a
+// filtered query therefore verifies roughly s% of the candidates the
+// unfiltered query would, while recall against the filtered ground
+// truth stays at the unfiltered level. The predicate must be fast,
+// side-effect free and safe for concurrent use; it only sees live ids.
+//
+// Migration from the fixed-signature methods (all still supported,
+// element-wise identical):
+//
+//	index.KNN(q, k, c)               -> index.Search(ctx, q, k, WithRatio(c))
+//	index.KNNWithStats(q, k, c)      -> index.Search(ctx, q, k, WithRatio(c), WithStats(&st))
+//	index.KNNBatch(qs, k, c)         -> index.SearchBatch(ctx, qs, k, WithRatio(c))
+//	index.BallCover(q, r, c)         -> index.SearchBall(ctx, q, r, WithRatio(c))
+//	index.ClosestPairs(k, c)         -> index.SearchPairs(ctx, k, WithRatio(c))
+//	index.ClosestPairsWithStats(k,c) -> index.SearchPairs(ctx, k, WithRatio(c), WithPairStats(&st))
+//	index.ClosestPairsParallel(k, c) -> index.SearchPairs(ctx, k, WithRatio(c), WithParallelVerify())
 //
 // # Storage layout
 //
@@ -105,23 +151,24 @@
 //
 // # Queries and concurrency
 //
-// Every method is safe for concurrent use. Queries — KNN,
-// KNNWithStats, KNNBatch, BallCover, ClosestPairs — share a reader
-// lock and run concurrently with each other; Insert, Delete and
+// Every method is safe for concurrent use. Queries — Search,
+// SearchBatch, SearchPairs, SearchBall and the legacy shims — share a
+// reader lock and run concurrently with each other; Insert, Delete and
 // Compact take the writer side and serialize against readers and one
 // another. A query therefore observes one consistent index state, and
 // a point whose Delete completed before the query began can never
-// appear in its results. KNNBatch fans a query slice across a worker
-// pool of up to GOMAXPROCS goroutines and returns per-query results in
-// input order — the throughput-oriented entry point for serving many
-// concurrent readers:
+// appear in its results. SearchBatch fans a query slice across a
+// worker pool of up to GOMAXPROCS goroutines and returns per-query
+// results in input order — the throughput-oriented entry point for
+// serving many concurrent readers:
 //
-//	results, err := index.KNNBatch(queries, 10, 1.5)
+//	results, err := index.SearchBatch(ctx, queries, 10)
 //
-// The WithStats variants report per-query work counters. All counters
-// are exact per query except ProjectedDistComps, which is the delta of
-// a tree-wide total and therefore includes work by queries running
-// concurrently with the measured one.
+// Per-query statistics (WithStats, WithBatchStats, WithPairStats) are
+// exact for the query they describe, ProjectedDistComps included: each
+// query's range enumerator counts its own projected-space metric
+// evaluations, so overlapping queries never pollute one another's
+// counters.
 //
 // # Repository layout
 //

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -45,12 +46,13 @@ func main() {
 
 	// Calibrate the duplicate radius: a small fraction of the typical
 	// nearest-neighbor distance in the corpus.
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(3))
 	var nnSum float64
 	const probes = 50
 	for i := 0; i < probes; i++ {
 		q := corpus[rng.Intn(len(corpus))]
-		res, err := index.KNN(q, 2, c)
+		res, err := index.Search(ctx, q, 2, pmlsh.WithRatio(c))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -94,10 +96,12 @@ func main() {
 	fmt.Printf("ingested %d near-copies and %d new documents (index now %d)\n",
 		numDups, numFresh, index.Len())
 
-	// One closest-pair query replaces n per-document probes: ask for a
-	// few more pairs than we planted, then keep those within the
-	// duplicate radius.
-	pairs, stats, err := index.ClosestPairsWithStats(2*numDups, c)
+	// One closest-pair request replaces n per-document probes: ask for
+	// a few more pairs than we planted, then keep those within the
+	// duplicate radius. The stats sink travels as an option.
+	var stats pmlsh.CPStats
+	pairs, err := index.SearchPairs(ctx, 2*numDups,
+		pmlsh.WithRatio(c), pmlsh.WithPairStats(&stats))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,12 +1,14 @@
 // Quickstart: build a PM-LSH index over random high-dimensional points,
-// answer a (c,k)-ANN query, then exercise the mutation lifecycle —
-// delete the returned neighbors, watch them vanish from the next query,
-// and re-insert one under a fresh id.
+// answer a (c,k)-ANN request through the options-driven Search API,
+// then exercise the mutation lifecycle — delete the returned neighbors,
+// watch them vanish from the next query, and re-insert one under a
+// fresh id.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -51,7 +53,12 @@ func main() {
 	query := append([]float64(nil), data[1234]...)
 	query[0] += 0.25
 
-	neighbors, stats, err := index.KNNWithStats(query, k, c)
+	// One Search request: per-query ratio and a stats sink travel as
+	// functional options; the context could carry a deadline.
+	ctx := context.Background()
+	var stats pmlsh.QueryStats
+	neighbors, err := index.Search(ctx, query, k,
+		pmlsh.WithRatio(c), pmlsh.WithStats(&stats))
 	if err != nil {
 		log.Fatalf("query: %v", err)
 	}
@@ -75,7 +82,7 @@ func main() {
 	fmt.Printf("\ndeleted the %d results: %d ids assigned, %d live\n",
 		len(neighbors), index.Len(), index.LiveLen())
 
-	neighbors, err = index.KNN(query, k, c)
+	neighbors, err = index.Search(ctx, query, k, pmlsh.WithRatio(c))
 	if err != nil {
 		log.Fatalf("query after delete: %v", err)
 	}
@@ -97,7 +104,7 @@ func main() {
 		fmt.Printf("\nre-inserted former point %d as id %d\n", oldID, newID)
 		break
 	}
-	neighbors, err = index.KNN(query, 1, c)
+	neighbors, err = index.Search(ctx, query, 1, pmlsh.WithRatio(c))
 	if err != nil {
 		log.Fatalf("query after re-insert: %v", err)
 	}

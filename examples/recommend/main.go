@@ -3,10 +3,17 @@
 // (Deep-like); a user's taste vector is the mean of recently liked
 // items, and PM-LSH retrieves candidate items near that vector.
 //
+// Already-liked items are excluded with WithFilter — the dominant
+// real-world filtered-search scenario — so the engine returns exactly
+// k eligible recommendations instead of over-fetching and discarding:
+// a filtered-out candidate costs no exact distance computation, and
+// the candidate budget counts only eligible items.
+//
 // Run with: go run ./examples/recommend
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -39,12 +46,13 @@ func main() {
 	}
 
 	// Three simulated users, each with a handful of liked items.
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(5))
 	for user := 1; user <= 3; user++ {
 		// Liked items cluster around one seed item.
 		seed := rng.Intn(len(items))
 		liked := []int{seed}
-		seedRes, err := index.KNN(items[seed], 4, c)
+		seedRes, err := index.Search(ctx, items[seed], 4, pmlsh.WithRatio(c))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -63,26 +71,22 @@ func main() {
 			taste[j] /= float64(len(liked))
 		}
 
-		// Retrieve recommendations, excluding already-liked items.
-		res, err := index.KNN(taste, k+len(liked), c)
-		if err != nil {
-			log.Fatal(err)
-		}
+		// Retrieve recommendations. The filter excludes already-liked
+		// items inside the engine, so the request asks for exactly k
+		// results — no over-fetch, no post-filter pass.
 		likedSet := make(map[int32]bool)
 		for _, id := range liked {
 			likedSet[int32(id)] = true
 		}
+		res, err := index.Search(ctx, taste, k,
+			pmlsh.WithRatio(c),
+			pmlsh.WithFilter(func(id int32) bool { return !likedSet[id] }))
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("user %d (liked items %v):\n", user, liked)
-		shown := 0
 		for _, nb := range res {
-			if likedSet[nb.ID] {
-				continue
-			}
-			shown++
 			fmt.Printf("  recommend item %-6d (distance to taste %.3f)\n", nb.ID, nb.Dist)
-			if shown == k {
-				break
-			}
 		}
 		fmt.Println()
 	}

@@ -5,14 +5,18 @@ package bench
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/e2lsh"
 	"repro/internal/lscan"
 	"repro/internal/metrics"
 	"repro/internal/multiprobe"
 	"repro/internal/qalsh"
 	"repro/internal/srs"
+	"repro/internal/vec"
 )
 
 // Algorithm is the common query interface the harness drives.
@@ -26,19 +30,22 @@ type Algorithm interface {
 // AlgoName enumerates the evaluated algorithms.
 type AlgoName string
 
-// The six algorithms of Table 4.
+// The six algorithms of Table 4, plus the textbook E2LSH baseline
+// (Section 2.2) every modern method refines.
 const (
 	PMLSH      AlgoName = "PM-LSH"
 	SRS        AlgoName = "SRS"
 	QALSH      AlgoName = "QALSH"
 	MultiProbe AlgoName = "Multi-Probe"
 	RLSH       AlgoName = "R-LSH"
+	E2LSH      AlgoName = "E2LSH"
 	LScan      AlgoName = "LScan"
 )
 
-// AllAlgos lists the algorithms in the paper's column order.
+// AllAlgos lists the algorithms in the paper's column order, with the
+// E2LSH lineage baseline before the exact-scan reference.
 func AllAlgos() []AlgoName {
-	return []AlgoName{PMLSH, SRS, QALSH, MultiProbe, RLSH, LScan}
+	return []AlgoName{PMLSH, SRS, QALSH, MultiProbe, RLSH, E2LSH, LScan}
 }
 
 // BuildConfig carries the shared build parameters.
@@ -100,6 +107,17 @@ func BuildAlgo(name AlgoName, data [][]float64, cfg BuildConfig) (Algorithm, err
 			return nil, err
 		}
 		return &mpAdapter{ix: ix}, nil
+	case E2LSH:
+		// The basic scheme needs a base radius its tables are tuned
+		// for; the natural choice is the expected NN distance, which a
+		// small sampled self-join estimates well enough for tuning.
+		ix, err := e2lsh.Build(data, e2lsh.Config{
+			R: estimateNNDistance(data, cfg.Seed), C: cfg.C, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &e2lshAdapter{ix: ix}, nil
 	case LScan:
 		sc, err := lscan.New(data, lscan.Config{Seed: cfg.Seed, Fraction: cfg.LScanFraction})
 		if err != nil {
@@ -196,6 +214,62 @@ type qalshAdapter struct{ ix *qalsh.Index }
 
 func (a *qalshAdapter) Name() string { return string(QALSH) }
 func (a *qalshAdapter) KNN(q []float64, k int) ([]metrics.Neighbor, error) {
+	res, err := a.ix.KNN(q, k)
+	out := make([]metrics.Neighbor, len(res))
+	for i, r := range res {
+		out[i] = metrics.Neighbor{ID: r.ID, Dist: r.Dist}
+	}
+	return out, err
+}
+
+// estimateNNDistance estimates the expected nearest-neighbor distance
+// by an exact self-join over a bounded random sample: for each sampled
+// point, the distance to its nearest other sample member, averaged.
+// Deterministic given the seed; O(sample²·d) work. NewCPWorkload
+// (closestpair.go) keeps its own probe-vs-full-corpus estimator on
+// purpose: that one DEFINES the planted-duplicate workload, so its
+// sampling cannot change without shifting every CP benchmark, while
+// this one only tunes E2LSH's base radius.
+func estimateNNDistance(data [][]float64, seed int64) float64 {
+	const maxSample = 256
+	rng := rand.New(rand.NewSource(seed + 77))
+	sample := data
+	if len(data) > maxSample {
+		sample = make([][]float64, maxSample)
+		for i, j := range rng.Perm(len(data))[:maxSample] {
+			sample[i] = data[j]
+		}
+	}
+	if len(sample) < 2 {
+		return 1
+	}
+	var sum float64
+	counted := 0
+	for i, p := range sample {
+		best := math.Inf(1)
+		for j, q := range sample {
+			if i == j {
+				continue
+			}
+			if d2 := vec.SquaredL2Bounded(p, q, best); d2 < best {
+				best = d2
+			}
+		}
+		if best > 0 && !math.IsInf(best, 1) {
+			sum += math.Sqrt(best)
+			counted++
+		}
+	}
+	if counted == 0 || sum == 0 {
+		return 1
+	}
+	return sum / float64(counted)
+}
+
+type e2lshAdapter struct{ ix *e2lsh.Index }
+
+func (a *e2lshAdapter) Name() string { return string(E2LSH) }
+func (a *e2lshAdapter) KNN(q []float64, k int) ([]metrics.Neighbor, error) {
 	res, err := a.ix.KNN(q, k)
 	out := make([]metrics.Neighbor, len(res))
 	for i, r := range res {

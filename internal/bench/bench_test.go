@@ -56,7 +56,7 @@ func TestBuildAllNames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(algos) != 6 {
+	if len(algos) != len(AllAlgos()) {
 		t.Fatalf("got %d algorithms", len(algos))
 	}
 	want := map[string]bool{}
@@ -90,7 +90,7 @@ func TestOverviewShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 {
+	if len(rows) != len(AllAlgos()) {
 		t.Fatalf("got %d rows", len(rows))
 	}
 	byName := map[string]Row{}
@@ -125,7 +125,7 @@ func TestVaryKMonotoneSetup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 {
+	if len(rows) != 6 { // 2 algorithms x 3 k values
 		t.Fatalf("got %d rows", len(rows))
 	}
 	for _, r := range rows {

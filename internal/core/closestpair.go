@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -54,8 +55,9 @@ type CPStats struct {
 	Verified int
 	// ProjectedDistComps is the number of projected-space metric
 	// evaluations inside the PM-tree traversal. Like the KNN statistic,
-	// it is the delta of a tree-wide counter and includes work from
-	// queries running concurrently with this one.
+	// it is exact for the query it describes — the pair enumerator
+	// counts its own evaluations — no matter how many queries run
+	// concurrently.
 	ProjectedDistComps int64
 }
 
@@ -69,30 +71,85 @@ type CPStats struct {
 //
 // The index must have been built over a PM-tree (the default); the
 // R-tree ablation does not support the self-join traversal.
+//
+// ClosestPairs is a shim over SearchPairs and answers element-wise
+// identically to it.
 func (ix *Index) ClosestPairs(k int, c float64) ([]Pair, error) {
-	res, _, err := ix.ClosestPairsWithStats(k, c)
-	return res, err
+	return ix.SearchPairs(context.Background(), k, SearchOptions{C: c})
 }
 
-// ClosestPairsWithStats is ClosestPairs plus work statistics.
+// ClosestPairsWithStats is ClosestPairs plus work statistics — a shim
+// over SearchPairs with SearchOptions.PairStats set.
 func (ix *Index) ClosestPairsWithStats(k int, c float64) ([]Pair, CPStats, error) {
+	var st CPStats
+	res, err := ix.SearchPairs(context.Background(), k, SearchOptions{C: c, PairStats: &st})
+	return res, st, err
+}
+
+// SearchPairs answers one (c,k)-closest-pair request under the unified
+// options surface: up to k admitted pairs of distinct indexed points
+// such that, with constant probability, the i-th returned distance is
+// within factor c of the exact i-th closest admitted pair distance.
+// A filter admits a pair only when it admits both ids; filtered-out
+// pairs cost no exact distance and do not count toward the
+// verification budget. Cancellation is checked between rounds and
+// between verification work items (every candidate batch), so a
+// canceled request stops doing tree work and returns ctx.Err().
+// o.PairStats, when non-nil, receives exact per-query statistics;
+// o.Parallel fans candidate verification across a worker pool.
+func (ix *Index) SearchPairs(ctx context.Context, k int, o SearchOptions) ([]Pair, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	var st CPStats
-	s, err := ix.cpSetup(k, c)
-	if err != nil || s == nil {
-		return nil, st, err
+	s, err := ix.cpSetup(k, o)
+	if err != nil {
+		return nil, err
 	}
-	distStart := ix.tree.DistanceComputations()
+	var st CPStats
+	if s == nil { // trivially empty: fewer than two indexed points
+		if o.PairStats != nil {
+			*o.PairStats = st
+		}
+		return nil, nil
+	}
+	var res []Pair
+	if o.Parallel {
+		res, err = ix.searchPairsParallel(ctx, s, o.Filter, &st)
+	} else {
+		res, err = ix.searchPairsSerial(ctx, s, o.Filter, &st)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if o.PairStats != nil {
+		*o.PairStats = st
+	}
+	return res, nil
+}
+
+// searchPairsSerial is the serial engine behind SearchPairs: rounds of
+// capped self-joins at projected radius t·r, r ← c·r, each candidate
+// verified as it streams off the enumerator.
+func (ix *Index) searchPairsSerial(ctx context.Context, s *cpParams, filter func(int32) bool, st *CPStats) ([]Pair, error) {
 	top := make([]Pair, 0, s.k) // Dist holds squared distances until return
 	bound := math.Inf(1)        // current k-th best squared distance
 	seen := make(map[[2]int32]bool, s.budget)
 	r := s.r0
+	var pdc int64
 rounds:
 	for {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		st.Rounds++
 		en := s.newRound(r, len(top), bound)
 		for {
+			// Cancellation between verification work items, amortized
+			// over a batch of enumerator pulls.
+			if st.Enumerated%cpBatchSize == 0 {
+				if err := ctxErr(ctx); err != nil {
+					return nil, err
+				}
+			}
 			cand, ok := en.Next()
 			if !ok {
 				break
@@ -103,6 +160,9 @@ rounds:
 				continue
 			}
 			seen[key] = true
+			if filter != nil && !(filter(cand.ID1) && filter(cand.ID2)) {
+				continue
+			}
 			st.Verified++
 			d2 := vec.SquaredL2Bounded(ix.point(cand.ID1), ix.point(cand.ID2), bound)
 			if len(top) < s.k || d2 < bound {
@@ -112,19 +172,27 @@ rounds:
 					en.SetCutoff(s.projCutoff(bound))
 				}
 			}
-			// Termination 2: enough unique pairs verified overall.
+			// Termination 2: enough unique admitted pairs verified.
 			if st.Verified >= s.budget && len(top) == s.k {
+				pdc += en.DistComps()
 				break rounds
 			}
+			// Every admitted pair verified: nothing left the filter
+			// would let through (without a filter this coincides with
+			// the enumerator running dry).
+			if st.Verified >= s.maxVerified {
+				break
+			}
 		}
-		if s.settled(top, bound, r, st.Verified) {
+		pdc += en.DistComps()
+		if s.settled(top, bound, r, len(seen), st.Verified) {
 			break
 		}
 		r *= s.c
 	}
-	st.ProjectedDistComps = ix.tree.DistanceComputations() - distStart
+	st.ProjectedDistComps = pdc
 	finishPairs(top)
-	return top, st, nil
+	return top, nil
 }
 
 // cpBatchSize is how many candidate pairs ClosestPairsParallel pulls
@@ -133,19 +201,21 @@ rounds:
 const cpBatchSize = 256
 
 // ClosestPairsParallel is ClosestPairs with candidate verification
-// fanned across a GOMAXPROCS worker pool (mirroring KNNBatch): the
-// projected-space enumeration stays serial, but each batch of candidate
-// pairs is verified concurrently against the contiguous store. The
-// termination conditions are checked between batches, so the parallel
-// variant may verify slightly more candidates than the serial one — it
-// returns pairs at least as good, under the same (c,k) guarantee.
+// fanned across a GOMAXPROCS worker pool (mirroring KNNBatch) — a shim
+// over SearchPairs with SearchOptions.Parallel set. The termination
+// conditions are checked per verification batch instead of per pair,
+// so it may examine slightly more candidates than ClosestPairs — the
+// result carries the same (c,k) guarantee and is, rank by rank, at
+// least as close.
 func (ix *Index) ClosestPairsParallel(k int, c float64) ([]Pair, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	s, err := ix.cpSetup(k, c)
-	if err != nil || s == nil {
-		return nil, err
-	}
+	return ix.SearchPairs(context.Background(), k, SearchOptions{C: c, Parallel: true})
+}
+
+// searchPairsParallel is the parallel engine behind SearchPairs: the
+// projected-space enumeration stays serial, but each batch of admitted
+// candidate pairs is verified concurrently against the contiguous
+// store. Cancellation is checked between batches.
+func (ix *Index) searchPairsParallel(ctx context.Context, s *cpParams, filter func(int32) bool, st *CPStats) ([]Pair, error) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > cpBatchSize {
 		workers = cpBatchSize
@@ -153,25 +223,37 @@ func (ix *Index) ClosestPairsParallel(k int, c float64) ([]Pair, error) {
 	top := make([]Pair, 0, s.k)
 	bound := math.Inf(1)
 	seen := make(map[[2]int32]bool, s.budget)
-	verified := 0
 	cands := make([]pmtree.PairCandidate, 0, cpBatchSize)
 	d2s := make([]float64, cpBatchSize)
 	r := s.r0
+	var pdc int64
 rounds:
 	for {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		st.Rounds++
 		en := s.newRound(r, len(top), bound)
 		for {
+			// Cancellation between verification work items (batches).
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 			cands = cands[:0]
 			for len(cands) < cpBatchSize {
 				cand, ok := en.Next()
 				if !ok {
 					break
 				}
+				st.Enumerated++
 				key := [2]int32{cand.ID1, cand.ID2}
 				if seen[key] {
 					continue
 				}
 				seen[key] = true
+				if filter != nil && !(filter(cand.ID1) && filter(cand.ID2)) {
+					continue
+				}
 				cands = append(cands, cand)
 			}
 			if len(cands) == 0 {
@@ -207,32 +289,40 @@ rounds:
 					}
 				}
 			}
-			verified += len(cands)
+			st.Verified += len(cands)
 			if len(top) == s.k {
 				en.SetCutoff(s.projCutoff(bound))
-				if verified >= s.budget {
+				if st.Verified >= s.budget {
+					pdc += en.DistComps()
 					break rounds
 				}
 			}
+			// Every admitted pair verified: nothing left to find.
+			if st.Verified >= s.maxVerified {
+				break
+			}
 		}
-		if s.settled(top, bound, r, verified) {
+		pdc += en.DistComps()
+		if s.settled(top, bound, r, len(seen), st.Verified) {
 			break
 		}
 		r *= s.c
 	}
+	st.ProjectedDistComps = pdc
 	finishPairs(top)
 	return top, nil
 }
 
 // cpParams bundles one closest-pair query's derived constants.
 type cpParams struct {
-	ix       *Index
-	k        int
-	c        float64
-	t        float64 // projected-radius multiplier from DeriveParams
-	budget   int     // βn + k unique-verification cap
-	maxPairs int
-	r0       float64 // initial original-space radius
+	ix          *Index
+	k           int
+	c           float64
+	t           float64 // projected-radius multiplier from DeriveParams
+	budget      int     // βn + k unique-verification cap
+	maxPairs    int     // distinct pairs in the collection
+	maxVerified int     // distinct admitted pairs (== maxPairs without a filter)
+	r0          float64 // initial original-space radius
 }
 
 // projCutoff maps the k-th best squared original distance to the
@@ -254,30 +344,36 @@ func (s *cpParams) newRound(r float64, have int, bound float64) *pmtree.PairEnum
 }
 
 // settled reports whether the query can stop after a round at radius r:
-// either the k-th best distance lies within c·r (the CI condition — a
-// closer unseen pair would have been enumerated w.h.p.), or every pair
-// has been verified.
-func (s *cpParams) settled(top []Pair, bound, r float64, verified int) bool {
+// the k-th best distance lies within c·r (the CI condition — a closer
+// unseen pair would have been enumerated w.h.p.), every distinct pair
+// has been enumerated (scanned counts distinct pairs consumed from the
+// self-join, admitted or not), or every admitted pair has been
+// verified (maxVerified — with a filter, the admitted population is
+// counted up front, so a restrictive filter ends the query as soon as
+// its last admitted pair is verified instead of grinding through the
+// whole O(n²) self-join).
+func (s *cpParams) settled(top []Pair, bound, r float64, scanned, verified int) bool {
 	if len(top) == s.k && math.Sqrt(bound) <= s.c*r {
 		return true
 	}
-	return verified >= s.maxPairs
+	return scanned >= s.maxPairs || verified >= s.maxVerified
 }
 
-// cpSetup validates a closest-pair query and derives its constants. A
+// cpSetup validates a closest-pair request and derives its constants. A
 // nil setup with nil error means the query trivially returns no pairs
 // (fewer than two indexed points).
-func (ix *Index) cpSetup(k int, c float64) (*cpParams, error) {
+func (ix *Index) cpSetup(k int, o SearchOptions) (*cpParams, error) {
 	if ix.tree == nil {
 		return nil, fmt.Errorf("core: ClosestPairs requires the PM-tree index (not the R-tree ablation)")
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("core: k must be positive, got %d", k)
 	}
+	c := o.C
 	if c <= 0 {
 		c = DefaultC
 	}
-	params, err := ix.DeriveParams(c)
+	params, err := ix.deriveParamsOpt(c, o.Alpha1)
 	if err != nil {
 		return nil, err
 	}
@@ -286,10 +382,34 @@ func (ix *Index) cpSetup(k int, c float64) (*cpParams, error) {
 		return nil, nil
 	}
 	maxPairs := n * (n - 1) / 2
-	if k > maxPairs {
-		k = maxPairs
+	// With a filter, count the admitted live population up front (one
+	// predicate call per live id — negligible next to a self-join). The
+	// admitted pair count clamps k, bounds the verification the query
+	// can ever do, and lets the engines stop the moment the last
+	// admitted pair has been verified. Note the worst case stays
+	// quadratic in enumeration when the admitted pairs are the farthest
+	// in the collection — the distance-ordered self-join must pass every
+	// closer pair first; WithBudget or a context deadline bounds that.
+	maxVerified := maxPairs
+	if o.Filter != nil {
+		admitted := 0
+		for id, row := range ix.rowOf {
+			if row >= 0 && o.Filter(int32(id)) {
+				admitted++
+			}
+		}
+		if admitted < 2 {
+			return nil, nil
+		}
+		maxVerified = admitted * (admitted - 1) / 2
+	}
+	if k > maxVerified {
+		k = maxVerified
 	}
 	budget := int(math.Ceil(params.Beta*float64(n))) + k
+	if o.Budget > 0 {
+		budget = o.Budget
+	}
 
 	// r0: the radius at which the empirical pair-distance distribution F
 	// predicts about budget pairs among the n(n-1)/2 total, then one
@@ -307,13 +427,14 @@ func (ix *Index) cpSetup(k int, c float64) (*cpParams, error) {
 		r0 = ix.smallestPositiveDistance()
 	}
 	return &cpParams{
-		ix:       ix,
-		k:        k,
-		c:        c,
-		t:        params.T,
-		budget:   budget,
-		maxPairs: maxPairs,
-		r0:       r0,
+		ix:          ix,
+		k:           k,
+		c:           c,
+		t:           params.T,
+		budget:      budget,
+		maxPairs:    maxPairs,
+		maxVerified: maxVerified,
+		r0:          r0,
 	}, nil
 }
 

@@ -14,14 +14,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"slices"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/lsh"
 	"repro/internal/pmtree"
@@ -120,7 +119,9 @@ type QueryStats struct {
 	// Verified is the number of original-space distance computations.
 	Verified int
 	// ProjectedDistComps is the number of projected-space metric
-	// evaluations inside the PM-tree.
+	// evaluations inside the PM-tree. The count is exact for the query
+	// it describes — the range enumerator counts its own evaluations —
+	// no matter how many queries run concurrently.
 	ProjectedDistComps int64
 	// FinalRadius is the original-space radius r when the query
 	// terminated.
@@ -160,9 +161,12 @@ type projectedIndex interface {
 // rangeEnum is the streaming surface of one running range-expansion
 // query: Expand(r) emits, through the callback, every indexed point
 // whose projected distance entered the (growing) radius since the
-// previous Expand, as (id, projected distance).
+// previous Expand, as (id, projected distance). DistComps reports the
+// metric evaluations this enumeration alone has paid since its Reset —
+// the per-query counter behind exact QueryStats.ProjectedDistComps.
 type rangeEnum interface {
 	Expand(r float64, emit func(id int32, dist float64))
+	DistComps() int64
 }
 
 // pmAdapter wraps the PM-tree as a projectedIndex.
@@ -706,125 +710,19 @@ func (ix *Index) Tree() *pmtree.Tree {
 func (ix *Index) Project(q []float64) []float64 { return ix.proj.Project(q) }
 
 // KNN answers a (c,k)-ANN query with the paper's default ratio when
-// c <= 0 (DefaultC). Results are sorted by distance.
+// c <= 0 (DefaultC). Results are sorted by distance. It is a shim over
+// Search and answers element-wise identically to it.
 func (ix *Index) KNN(q []float64, k int, c float64) ([]Result, error) {
-	res, _, err := ix.KNNWithStats(q, k, c)
-	return res, err
+	return ix.Search(context.Background(), q, k, SearchOptions{C: c})
 }
 
-// KNNWithStats is Algorithm 2. It issues projected range queries
-// range(q′, t·r) with r = r_min, c·r_min, c²·r_min, … and terminates as
-// soon as either k candidates lie within c·r in the original space or
-// βn + k candidates have been verified (n the live count).
-//
-// The radius-enlarging loop runs on a resumable range enumerator: the
-// first round expands a best-first frontier over the projected tree to
-// t·r_min, and every later round resumes that frozen frontier at the
-// enlarged radius instead of restarting the range search from the
-// root. Each projected point is therefore visited once per query, not
-// once per round, and only the candidates that newly entered the
-// radius are verified (they are, by construction, exactly the ones the
-// old restart loop's dedup marks would have let through; the rounds'
-// deltas are sorted by projected distance so the verification order —
-// and with it the answer, budget truncation and tie-breaks included —
-// matches the restart loop element for element, which
-// TestStreamingMatchesRestartLoopReference pins).
-//
-// Queries are safe for concurrent use (per-query state is pooled) and
-// may overlap Insert/Delete/Compact — the reader lock serializes them
-// against mutations. The ProjectedDistComps statistic is a combined
-// count when queries overlap.
+// KNNWithStats is KNN plus per-query work statistics — a shim over
+// Search with SearchOptions.Stats set. Every field, ProjectedDistComps
+// included, is exact for this query.
 func (ix *Index) KNNWithStats(q []float64, k int, c float64) ([]Result, QueryStats, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.knnWithStats(q, k, c)
-}
-
-// knnWithStats is KNNWithStats with mu already held (reader side).
-func (ix *Index) knnWithStats(q []float64, k int, c float64) ([]Result, QueryStats, error) {
 	var st QueryStats
-	if len(q) != ix.dim {
-		return nil, st, fmt.Errorf("core: query has dimension %d, index expects %d", len(q), ix.dim)
-	}
-	if k <= 0 {
-		return nil, st, fmt.Errorf("core: k must be positive, got %d", k)
-	}
-	if c <= 0 {
-		c = DefaultC
-	}
-	params, err := ix.DeriveParams(c)
-	if err != nil {
-		return nil, st, err
-	}
-	n := ix.data.Live()
-	if n == 0 {
-		return nil, st, nil
-	}
-	needed := int(math.Ceil(params.Beta*float64(n))) + k
-
-	// r_min: the radius at which F predicts βn + k points, shrunk a bit
-	// (Section 4.5, "Selecting the Radius r of a Range Query").
-	r := ix.distQuantile(float64(needed)/float64(n)) * ix.cfg.RMinShrink
-	if r <= 0 {
-		r = ix.smallestPositiveDistance()
-	}
-
-	sc := ix.getScratch()
-	defer ix.putScratch(sc)
-	qp := ix.projectInto(sc, q)
-	distStart := ix.pidx.DistanceComputations()
-	en, err := ix.pidx.resetEnum(sc, qp)
-	if err != nil {
-		return nil, st, err
-	}
-
-	// Verification keeps only the running top-k (squared distances; the
-	// k square roots are deferred to the end). Every unique candidate
-	// still counts toward Verified and the βn+k budget, but a candidate
-	// that provably cannot enter the top-k is abandoned partway through
-	// its distance loop (SquaredL2Bounded against the running k-th
-	// best), which removes both the per-candidate sqrt and most of the
-	// wasted multiply-adds of the original full-sort verifier.
-	top := make([]Result, 0, k) // Dist holds squared distances until return
-	bound := math.Inf(1)        // current k-th best squared distance
-	for {
-		st.Rounds++
-		sc.emit = sc.emit[:0]
-		en.Expand(params.T*r, sc.emitFn)
-		sc.sortEmit()
-		for _, pr := range sc.emit {
-			st.Verified++
-			d2 := vec.SquaredL2Bounded(q, ix.point(pr.ID), bound)
-			if len(top) < k || d2 < bound {
-				top = insertCandidate(top, Result{ID: pr.ID, Dist: d2}, k)
-				if len(top) == k {
-					bound = top[k-1].Dist
-				}
-			}
-			if st.Verified >= needed {
-				break
-			}
-		}
-		// Termination 1 (Alg. 2 line 9): enough candidates overall.
-		if st.Verified >= needed {
-			break
-		}
-		// Termination 2 (Alg. 2 line 4): k verified points within c·r.
-		if cr := c * r; kthWithin(top, k, cr*cr) {
-			break
-		}
-		// All points examined: nothing more to find.
-		if st.Verified >= n {
-			break
-		}
-		r *= c
-	}
-	st.FinalRadius = r
-	st.ProjectedDistComps = ix.pidx.DistanceComputations() - distStart
-	for i := range top {
-		top[i].Dist = math.Sqrt(top[i].Dist)
-	}
-	return top, st, nil
+	res, err := ix.Search(context.Background(), q, k, SearchOptions{C: c, Stats: &st})
+	return res, st, err
 }
 
 // projectInto projects q into the scratch's reusable buffer.
@@ -957,47 +855,11 @@ func (sc *queryScratch) sortEmit() {
 	}
 }
 
-// KNNBatch answers many (c,k)-ANN queries concurrently: queries are
-// fanned across a bounded worker pool (GOMAXPROCS workers, each reusing
-// the per-query scratch pool), and out[i] holds the neighbors of qs[i].
-// The first query error, if any, is returned after all workers stop.
-// KNNBatch holds the reader lock once for the whole batch (the workers
-// run lock-free inside it), so the batch observes one consistent index
-// state; mutations wait for the batch to finish.
+// KNNBatch answers many (c,k)-ANN queries concurrently — a shim over
+// SearchBatch; out[i] holds the neighbors of qs[i], identical to KNN
+// per query.
 func (ix *Index) KNNBatch(qs [][]float64, k int, c float64) ([][]Result, error) {
-	if len(qs) == 0 {
-		return nil, nil
-	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	out := make([][]Result, len(qs))
-	errs := make([]error, len(qs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(qs) {
-		workers = len(qs)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(qs) {
-					return
-				}
-				out[i], _, errs[i] = ix.knnWithStats(qs[i], k, c)
-			}
-		}()
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return out, fmt.Errorf("core: batch query %d: %w", i, err)
-		}
-	}
-	return out, nil
+	return ix.SearchBatch(context.Background(), qs, k, SearchOptions{C: c})
 }
 
 // smallestPositiveDistance returns the smallest non-zero sampled
@@ -1026,56 +888,13 @@ func kthWithin(cand []Result, k int, radius float64) bool {
 
 // BallCover is Algorithm 1: the (r,c)-BC query. It returns the nearest
 // candidate within B(q, c·r), or nil when the query proves (with the
-// scheme's constant probability) that B(q, r) is empty.
+// scheme's constant probability) that B(q, r) is empty. It is a shim
+// over SearchBall and answers identically to it — except that, unlike
+// the options surface (where c <= 0 selects DefaultC), BallCover keeps
+// its original contract and rejects non-positive ratios.
 func (ix *Index) BallCover(q []float64, r, c float64) (*Result, error) {
-	if len(q) != ix.dim {
-		return nil, fmt.Errorf("core: query has dimension %d, index expects %d", len(q), ix.dim)
+	if c <= 0 {
+		return nil, fmt.Errorf("core: approximation ratio c must exceed 1, got %v", c)
 	}
-	if r <= 0 {
-		return nil, fmt.Errorf("core: radius must be positive, got %v", r)
-	}
-	params, err := ix.DeriveParams(c)
-	if err != nil {
-		return nil, err
-	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	n := ix.data.Live()
-	betaN := int(math.Ceil(params.Beta * float64(n)))
-
-	// One streamed range expansion to t·r (a single-round query on the
-	// same enumerator machinery as KNNWithStats); the candidates are
-	// sorted into the order the old materializing RangeSearch returned
-	// them in, so verification — and the tie-breaking of equal best
-	// distances with it — is unchanged.
-	sc := ix.getScratch()
-	defer ix.putScratch(sc)
-	qp := ix.projectInto(sc, q)
-	en, err := ix.pidx.resetEnum(sc, qp)
-	if err != nil {
-		return nil, err
-	}
-	sc.emit = sc.emit[:0]
-	en.Expand(params.T*r, sc.emitFn)
-	sc.sortEmit()
-	// Track the best candidate in squared space with early abandonment.
-	best := Result{ID: -1, Dist: math.Inf(1)}
-	for _, pr := range sc.emit {
-		d2 := vec.SquaredL2Bounded(q, ix.point(pr.ID), best.Dist)
-		if d2 < best.Dist {
-			best = Result{ID: pr.ID, Dist: d2}
-		}
-	}
-	if best.ID >= 0 {
-		best.Dist = math.Sqrt(best.Dist)
-	}
-	switch {
-	case len(sc.emit) >= betaN+1:
-		// Lemma 5 case 1: candidate overflow guarantees a hit in B(q,cr).
-		return &best, nil
-	case best.ID >= 0 && best.Dist <= c*r:
-		return &best, nil
-	default:
-		return nil, nil
-	}
+	return ix.SearchBall(context.Background(), q, r, SearchOptions{C: c})
 }

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vec"
+)
+
+// This file is the unified per-query request surface. Every point
+// query — (c,k)-ANN, batched ANN, (r,c)-ball-cover — and the
+// closest-pair self-join (closestpair.go) run through one
+// options-driven engine: Search, SearchBatch, SearchBall and
+// SearchPairs take a context plus a SearchOptions value carrying the
+// per-query tuning the paper parameterizes per query (the ratio c and
+// the α1 that derive T and β of Eq. 10), a result filter, a
+// verification-budget override and a stats sink. The legacy
+// fixed-signature methods (KNN, KNNWithStats, KNNBatch, BallCover,
+// ClosestPairs, ClosestPairsWithStats, ClosestPairsParallel) are thin
+// shims over these entry points and answer element-wise identically.
+
+// SearchOptions carries one query's request parameters. The zero value
+// reproduces the legacy defaults: ratio DefaultC, build-time α1, no
+// filter, the derived βn+k verification budget, no statistics.
+type SearchOptions struct {
+	// C is the approximation ratio; <= 0 selects DefaultC. Values in
+	// (0, 1] are rejected.
+	C float64
+	// Alpha1 overrides the confidence-interval parameter α1 for this
+	// query (0 = the index's Config.Alpha1). Smaller values widen the
+	// projected search radius: higher recall, more work.
+	Alpha1 float64
+	// Filter restricts results to ids it admits. It is pushed into the
+	// verification loop: a filtered-out candidate costs no exact
+	// distance computation, and the verification budget counts only
+	// admitted candidates. The filter must be fast, side-effect free
+	// and safe for concurrent use (SearchBatch calls it from multiple
+	// goroutines); it sees only live ids.
+	Filter func(id int32) bool
+	// Budget overrides the derived verification budget — βn+k admitted
+	// candidates for Search/SearchBatch/SearchPairs, βn for SearchBall's
+	// overflow threshold (<= 0 = derive). Lowering it trades recall for
+	// speed; the (c,k) guarantee assumes the derived value.
+	Budget int
+	// Stats, when non-nil, receives the query's work statistics. Every
+	// field is exact for the query it describes, ProjectedDistComps
+	// included, no matter how many queries run concurrently. Ignored by
+	// SearchBatch (use BatchStats) and SearchPairs (use PairStats).
+	Stats *QueryStats
+	// BatchStats, when non-nil, receives per-query statistics from
+	// SearchBatch: entry i describes qs[i]. It must have at least as
+	// many entries as the query slice.
+	BatchStats []QueryStats
+	// PairStats, when non-nil, receives SearchPairs statistics.
+	PairStats *CPStats
+	// Parallel fans SearchPairs candidate verification across a
+	// GOMAXPROCS worker pool. Termination is checked per verification
+	// batch instead of per pair, so slightly more candidates may be
+	// examined; the result carries the same (c,k) guarantee and is,
+	// rank by rank, at least as close. Ignored by the other entry
+	// points (Search parallelism comes from SearchBatch).
+	Parallel bool
+}
+
+// ctxErr reports the context's cancellation state. A nil context is
+// tolerated (never cancels) purely as defense in depth — every
+// internal caller, the legacy shims included, passes a real context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// deriveParamsOpt is DeriveParams at a per-query α1, falling back to
+// the index's cached build-time constants when alpha1 is zero or equal
+// to the configured value. The κ calibration (see BuildFromStore)
+// makes α2 — and with it β — depend only on c, so a per-query α1
+// changes the projected-radius multiplier T alone: the override path
+// delegates to DeriveParams for α2/β and replaces just T.
+func (ix *Index) deriveParamsOpt(c, alpha1 float64) (Params, error) {
+	if alpha1 == 0 || alpha1 == ix.cfg.Alpha1 {
+		return ix.DeriveParams(c)
+	}
+	if alpha1 <= 0 || alpha1 >= 1 {
+		return Params{}, fmt.Errorf("core: Alpha1 must be in (0,1), got %v", alpha1)
+	}
+	p, err := ix.DeriveParams(c)
+	if err != nil {
+		return Params{}, err
+	}
+	q, err := ix.chi.UpperQuantile(alpha1)
+	if err != nil {
+		return Params{}, fmt.Errorf("core: deriving t: %w", err)
+	}
+	p.T = math.Sqrt(q)
+	p.Alpha1 = alpha1
+	return p, nil
+}
+
+// Search answers one (c,k)-ANN request: up to k admitted points whose
+// i-th member is, with constant probability, within c²·||q,o*_i|| of
+// the query (o*_i the exact i-th admitted NN). Results are sorted by
+// distance. Cancellation is checked between range-expansion rounds, so
+// a canceled request stops doing tree work and returns ctx.Err().
+func (ix *Index) Search(ctx context.Context, q []float64, k int, o SearchOptions) ([]Result, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.searchLocked(ctx, q, k, o)
+}
+
+// searchLocked is Algorithm 2 with mu already held (reader side). It
+// issues projected range queries range(q′, t·r) with r = r_min,
+// c·r_min, c²·r_min, … and terminates as soon as either k admitted
+// candidates lie within c·r in the original space, the admitted-
+// candidate budget is exhausted, or every live point has been
+// enumerated.
+//
+// The radius-enlarging loop runs on a resumable range enumerator: the
+// first round expands a best-first frontier over the projected tree to
+// t·r_min, and every later round resumes that frozen frontier at the
+// enlarged radius instead of restarting the range search from the
+// root. Each projected point is therefore visited once per query, not
+// once per round, and only the candidates that newly entered the
+// radius are verified (they are, by construction, exactly the ones the
+// old restart loop's dedup marks would have let through; the rounds'
+// deltas are sorted by projected distance so the verification order —
+// and with it the answer, budget truncation and tie-breaks included —
+// matches the restart loop element for element, which
+// TestStreamingMatchesRestartLoopReference pins).
+//
+// Queries are safe for concurrent use (per-query state is pooled) and
+// may overlap Insert/Delete/Compact — the reader lock serializes them
+// against mutations. All statistics, ProjectedDistComps included, are
+// exact per query: the enumerator counts its own metric evaluations,
+// so overlapping queries never pollute each other's counters.
+func (ix *Index) searchLocked(ctx context.Context, q []float64, k int, o SearchOptions) ([]Result, error) {
+	var st QueryStats
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("core: query has dimension %d, index expects %d", len(q), ix.dim)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	c := o.C
+	if c <= 0 {
+		c = DefaultC
+	}
+	params, err := ix.deriveParamsOpt(c, o.Alpha1)
+	if err != nil {
+		return nil, err
+	}
+	n := ix.data.Live()
+	if n == 0 {
+		if o.Stats != nil {
+			*o.Stats = st
+		}
+		return nil, nil
+	}
+	needed := int(math.Ceil(params.Beta*float64(n))) + k
+	if o.Budget > 0 {
+		needed = o.Budget
+	}
+
+	// r_min: the radius at which F predicts βn + k points, shrunk a bit
+	// (Section 4.5, "Selecting the Radius r of a Range Query").
+	r := ix.distQuantile(float64(needed)/float64(n)) * ix.cfg.RMinShrink
+	if r <= 0 {
+		r = ix.smallestPositiveDistance()
+	}
+
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	qp := ix.projectInto(sc, q)
+	en, err := ix.pidx.resetEnum(sc, qp)
+	if err != nil {
+		return nil, err
+	}
+
+	// Verification keeps only the running top-k (squared distances; the
+	// k square roots are deferred to the end). Every admitted candidate
+	// counts toward Verified and the budget, but a candidate that
+	// provably cannot enter the top-k is abandoned partway through its
+	// distance loop (SquaredL2Bounded against the running k-th best).
+	// Filtered-out candidates cost only the filter call: no exact
+	// distance, no budget.
+	filter := o.Filter
+	top := make([]Result, 0, k) // Dist holds squared distances until return
+	bound := math.Inf(1)        // current k-th best squared distance
+	scanned := 0                // candidates streamed by the enumerator, admitted or not
+	for {
+		// Cancellation is checked between rounds: each round is one
+		// tree expansion plus one bounded verification sweep.
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		st.Rounds++
+		sc.emit = sc.emit[:0]
+		en.Expand(params.T*r, sc.emitFn)
+		sc.sortEmit()
+		for _, pr := range sc.emit {
+			scanned++
+			if filter != nil && !filter(pr.ID) {
+				continue
+			}
+			st.Verified++
+			d2 := vec.SquaredL2Bounded(q, ix.point(pr.ID), bound)
+			if len(top) < k || d2 < bound {
+				top = insertCandidate(top, Result{ID: pr.ID, Dist: d2}, k)
+				if len(top) == k {
+					bound = top[k-1].Dist
+				}
+			}
+			if st.Verified >= needed {
+				break
+			}
+		}
+		// Termination 1 (Alg. 2 line 9): enough admitted candidates.
+		if st.Verified >= needed {
+			break
+		}
+		// Termination 2 (Alg. 2 line 4): k admitted points within c·r.
+		if cr := c * r; kthWithin(top, k, cr*cr) {
+			break
+		}
+		// Every live point streamed: nothing more to find (with a
+		// filter, Verified can never reach the budget — the enumerator
+		// running dry is what ends the query).
+		if scanned >= n {
+			break
+		}
+		r *= c
+	}
+	st.FinalRadius = r
+	st.ProjectedDistComps = en.DistComps()
+	for i := range top {
+		top[i].Dist = math.Sqrt(top[i].Dist)
+	}
+	if o.Stats != nil {
+		*o.Stats = st
+	}
+	return top, nil
+}
+
+// SearchBatch answers many (c,k)-ANN requests under one options value,
+// fanning them across a bounded worker pool (GOMAXPROCS workers, each
+// reusing the per-query scratch pool); out[i] holds the neighbors of
+// qs[i], identical to Search per query — only the scheduling differs.
+// The batch holds the reader lock once (the workers run lock-free
+// inside it), so every query observes the same index state; mutations
+// wait for the batch to finish.
+//
+// Cancellation is checked between work items and between each query's
+// expansion rounds: on cancellation workers stop claiming queries and
+// SearchBatch returns ctx.Err() with the partially filled result
+// slice. Otherwise the first query error, if any, is returned after
+// all workers finish. o.BatchStats, when non-nil, receives exact
+// per-query statistics (entry i for qs[i]); o.Stats is ignored.
+func (ix *Index) SearchBatch(ctx context.Context, qs [][]float64, k int, o SearchOptions) ([][]Result, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	if o.BatchStats != nil && len(o.BatchStats) < len(qs) {
+		return nil, fmt.Errorf("core: BatchStats has %d entries for %d queries", len(o.BatchStats), len(qs))
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([][]Result, len(qs))
+	errs := make([]error, len(qs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctxErr(ctx) != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				oi := o
+				oi.Stats = nil
+				if o.BatchStats != nil {
+					oi.Stats = &o.BatchStats[i]
+				}
+				out[i], errs[i] = ix.searchLocked(ctx, qs[i], k, oi)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctxErr(ctx); err != nil {
+		return out, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("core: batch query %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// SearchBall answers one (r,c)-ball-cover request (Definition 3,
+// Algorithm 1): if some admitted point lies within r of q it returns,
+// with constant probability, an admitted point within c·r; if no
+// admitted point lies within c·r it returns nil. o.Stats, when
+// non-nil, receives the query's statistics (Rounds is always 1 — the
+// ball-cover query is a single streamed range expansion).
+func (ix *Index) SearchBall(ctx context.Context, q []float64, r float64, o SearchOptions) (*Result, error) {
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("core: query has dimension %d, index expects %d", len(q), ix.dim)
+	}
+	if r <= 0 {
+		return nil, fmt.Errorf("core: radius must be positive, got %v", r)
+	}
+	c := o.C
+	if c <= 0 {
+		c = DefaultC
+	}
+	params, err := ix.deriveParamsOpt(c, o.Alpha1)
+	if err != nil {
+		return nil, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := ix.data.Live()
+	betaN := int(math.Ceil(params.Beta * float64(n)))
+	if o.Budget > 0 {
+		betaN = o.Budget
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+
+	// One streamed range expansion to t·r (a single-round query on the
+	// same enumerator machinery as Search); the candidates are sorted
+	// into the order the old materializing RangeSearch returned them
+	// in, so verification — and the tie-breaking of equal best
+	// distances with it — is unchanged.
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	qp := ix.projectInto(sc, q)
+	en, err := ix.pidx.resetEnum(sc, qp)
+	if err != nil {
+		return nil, err
+	}
+	sc.emit = sc.emit[:0]
+	en.Expand(params.T*r, sc.emitFn)
+	sc.sortEmit()
+	// Track the best admitted candidate in squared space with early
+	// abandonment; filtered-out candidates cost no exact distance and
+	// do not count toward the overflow threshold.
+	best := Result{ID: -1, Dist: math.Inf(1)}
+	admitted := 0
+	for _, pr := range sc.emit {
+		if o.Filter != nil && !o.Filter(pr.ID) {
+			continue
+		}
+		admitted++
+		d2 := vec.SquaredL2Bounded(q, ix.point(pr.ID), best.Dist)
+		if d2 < best.Dist {
+			best = Result{ID: pr.ID, Dist: d2}
+		}
+	}
+	if best.ID >= 0 {
+		best.Dist = math.Sqrt(best.Dist)
+	}
+	if o.Stats != nil {
+		*o.Stats = QueryStats{
+			Rounds:             1,
+			Verified:           admitted,
+			ProjectedDistComps: en.DistComps(),
+			FinalRadius:        r,
+		}
+	}
+	switch {
+	case admitted >= betaN+1:
+		// Lemma 5 case 1: candidate overflow guarantees a hit in B(q,cr).
+		return &best, nil
+	case best.ID >= 0 && best.Dist <= c*r:
+		return &best, nil
+	default:
+		return nil, nil
+	}
+}

@@ -66,6 +66,12 @@ type PairEnumerator struct {
 	// majority of all node pairs.
 	stack []pairItem
 
+	// qdist counts this enumeration's metric evaluations — owned by
+	// exactly one enumerator, so per-query closest-pair statistics stay
+	// exact when queries overlap (the tree-wide atomics below are
+	// shared).
+	qdist int64
+
 	// pending batches the tree's atomic statistics counters: a self-join
 	// evaluates the metric millions of times, and paying an atomic
 	// add per evaluation costs more than the 15-dimensional distance
@@ -137,8 +143,15 @@ func (a pairItem) Less(b pairItem) bool {
 // dist evaluates the metric, counting locally (see pending fields).
 func (e *PairEnumerator) dist(a, b []float64) float64 {
 	e.pendingDist++
+	e.qdist++
 	return vec.L2(a, b)
 }
+
+// DistComps returns the number of metric evaluations this enumeration
+// has paid since it was created. The count is owned by the
+// enumeration — it never includes work from other queries, however
+// many run concurrently.
+func (e *PairEnumerator) DistComps() int64 { return e.qdist }
 
 // flushStats moves the batched counters into the tree's atomics.
 func (e *PairEnumerator) flushStats() {
@@ -349,6 +362,7 @@ func (e *PairEnumerator) expandLeafPair(na, nb *node) {
 		}
 	}
 	e.pendingDist += exact
+	e.qdist += exact
 }
 
 func regionOf(r *routingEntry) pairRegion {

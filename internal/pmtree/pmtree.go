@@ -16,9 +16,10 @@
 //
 // The implementation is single-writer: Build, Insert and Delete must
 // not be called concurrently with queries (the index layer above holds
-// a reader/writer lock). Queries themselves are read-only but share
-// the distance-computation counter, so concurrent queries get a
-// combined count.
+// a reader/writer lock). Queries themselves are read-only; the
+// tree-wide distance-computation counter is shared (a combined total),
+// while the enumerators additionally keep per-enumeration counts
+// (DistComps) that stay exact under concurrency.
 package pmtree
 
 import (

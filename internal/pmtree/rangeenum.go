@@ -129,6 +129,13 @@ type RangeEnumerator struct {
 	radius float64
 	emit   func(id int32, dist float64) // set for the duration of one Expand
 
+	// qdist counts this enumeration's metric evaluations — pivot,
+	// routing-object and leaf-point distances alike — since the last
+	// Reset. Unlike the tree-wide atomics it is owned by exactly one
+	// query, which is what makes per-query statistics exact when
+	// queries overlap.
+	qdist int64
+
 	// pending* batch the tree's atomic statistics counters (see
 	// PairEnumerator); flushed on every Expand return.
 	pendingDist  int64
@@ -155,6 +162,7 @@ func (e *RangeEnumerator) Reset(t *Tree, q []float64) error {
 	e.t = t
 	e.q = q
 	e.radius = math.Inf(-1)
+	e.qdist = 0
 	e.frozen = e.frozen[:0]
 	e.arena = e.arena[:0]
 	if s := len(t.pivots); cap(e.qp) < s {
@@ -164,6 +172,7 @@ func (e *RangeEnumerator) Reset(t *Tree, q []float64) error {
 	}
 	for i, pv := range t.pivots {
 		e.pendingDist++
+		e.qdist++
 		e.qp[i] = vec.L2(q, pv)
 	}
 	if t.count > 0 {
@@ -338,8 +347,16 @@ func (e *RangeEnumerator) expandNode(n *node, hasParent bool, qpd float64) {
 // dist evaluates the metric, counting locally (see pending fields).
 func (e *RangeEnumerator) dist(a, b []float64) float64 {
 	e.pendingDist++
+	e.qdist++
 	return vec.L2(a, b)
 }
+
+// DistComps returns the number of metric evaluations this enumeration
+// has paid since its Reset. The count is owned by the enumeration — it
+// never includes work from other queries, however many run
+// concurrently — and equals the delta the tree-wide counter would show
+// for this query run in isolation.
+func (e *RangeEnumerator) DistComps() int64 { return e.qdist }
 
 // flushStats moves the batched counters into the tree's atomics.
 func (e *RangeEnumerator) flushStats() {

@@ -37,6 +37,12 @@ type RangeEnumerator struct {
 	radiusSq float64
 	emit     func(id int32, dist float64)
 
+	// qdist counts this enumeration's distance evaluations (point
+	// distances and MBR tests, matching the tree-wide counter's
+	// accounting) since the last Reset — owned by exactly one query, so
+	// per-query statistics stay exact when queries overlap.
+	qdist int64
+
 	// pending* batch the tree's atomic statistics counters; flushed on
 	// every Expand return.
 	pendingDist  int64
@@ -79,6 +85,7 @@ func (e *RangeEnumerator) Reset(t *Tree, q []float64) error {
 	e.t = t
 	e.q = q
 	e.radiusSq = math.Inf(-1)
+	e.qdist = 0
 	e.frozen = e.frozen[:0]
 	e.arena = e.arena[:0]
 	if t.count > 0 {
@@ -140,6 +147,7 @@ func (e *RangeEnumerator) expandNode(n *node) {
 		for i := range n.entries {
 			en := &n.entries[i]
 			e.pendingDist++
+			e.qdist++
 			d2 := vec.SquaredL2(e.q, e.t.leafPoint(en))
 			if d2 <= e.radiusSq {
 				e.emit(en.id, math.Sqrt(d2))
@@ -156,6 +164,7 @@ func (e *RangeEnumerator) expandNode(n *node) {
 		// node-based cost model (paper Eq. 9) charges every entry of an
 		// accessed node, so the counter does too.
 		e.pendingDist++
+		e.qdist++
 		md := en.rect.MinDistSq(e.q)
 		if md <= e.radiusSq {
 			e.expandNode(en.child)
@@ -165,6 +174,11 @@ func (e *RangeEnumerator) expandNode(n *node) {
 		e.frozen = append(e.frozen, rtRangeItem{bound: md, ref: int32(len(e.arena) - 1), kind: rtNode})
 	}
 }
+
+// DistComps returns the number of distance evaluations this
+// enumeration has paid since its Reset (see
+// pmtree.RangeEnumerator.DistComps).
+func (e *RangeEnumerator) DistComps() int64 { return e.qdist }
 
 // flushStats moves the batched counters into the tree's atomics.
 func (e *RangeEnumerator) flushStats() {

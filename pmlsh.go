@@ -1,6 +1,7 @@
 package pmlsh
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -68,12 +69,17 @@ type Config struct {
 	AutoCompactFraction float64
 }
 
-// Index is a PM-LSH index over a mutable dataset. Every method is safe
-// for concurrent use: queries (KNN, KNNBatch, BallCover, ClosestPairs)
-// run concurrently with each other under a shared reader lock, while
-// Insert, Delete and Compact take the writer side and serialize
-// against readers and one another. A query always observes a
-// consistent state and never returns a deleted point.
+// Index is a PM-LSH index over a mutable dataset. Queries go through
+// the unified request API — Search, SearchBatch, SearchPairs,
+// SearchBall — which takes a context plus per-query functional options
+// (ratio, confidence width, result filter, budget, statistics sink);
+// the fixed-signature legacy methods are shims over it.
+//
+// Every method is safe for concurrent use: queries run concurrently
+// with each other under a shared reader lock, while Insert, Delete and
+// Compact take the writer side and serialize against readers and one
+// another. A query always observes a consistent state and never
+// returns a deleted point.
 //
 // Ids are stable: Insert assigns them from a monotone counter and they
 // are never reused or remapped — not by Delete, not by Compact — so an
@@ -146,31 +152,33 @@ func (x *Index) M() int { return x.ix.M() }
 // member is, with constant probability, within c²·||q,o*_i|| of the
 // query (o*_i the exact i-th NN). Results are sorted by distance.
 // c must exceed 1; c <= 0 selects the default 1.5.
+//
+// KNN is a shim over Search — Search(ctx, q, k, WithRatio(c)) — and
+// answers element-wise identically to it. (The shims bypass the
+// option-closure layer and pass the folded options value straight to
+// the engine, keeping the legacy hot path allocation-free.)
 func (x *Index) KNN(q []float64, k int, c float64) ([]Neighbor, error) {
-	res, err := x.ix.KNN(q, k, c)
+	res, err := x.ix.Search(context.Background(), q, k, core.SearchOptions{C: c})
 	return convert(res), err
 }
 
-// KNNWithStats is KNN plus per-query work statistics. Rounds, Verified
-// and FinalRadius are exact per query; ProjectedDistComps is the delta
-// of a tree-wide counter, so when queries overlap (KNNBatch, or
-// concurrent KNNWithStats calls) it includes work done by the other
-// in-flight queries.
+// KNNWithStats is KNN plus per-query work statistics — a shim over
+// Search with WithStats. Every field is exact for this query,
+// ProjectedDistComps included, no matter how many queries run
+// concurrently.
 func (x *Index) KNNWithStats(q []float64, k int, c float64) ([]Neighbor, QueryStats, error) {
-	res, st, err := x.ix.KNNWithStats(q, k, c)
+	var st QueryStats
+	res, err := x.ix.Search(context.Background(), q, k, core.SearchOptions{C: c, Stats: &st})
 	return convert(res), st, err
 }
 
 // KNNBatch answers many (c,k)-ANN queries concurrently, fanning them
-// across a worker pool of up to GOMAXPROCS goroutines. out[i] holds the
-// neighbors of qs[i], in the same order KNN would return them; results
-// are identical to calling KNN per query, only the scheduling differs.
-// The first query error, if any, is returned after all workers finish.
-// KNNBatch holds the reader lock once for the whole batch, so every
-// query in it observes the same index state; mutations wait for the
-// batch to finish.
+// across a worker pool of up to GOMAXPROCS goroutines — a shim over
+// SearchBatch. out[i] holds the neighbors of qs[i], in the same order
+// KNN would return them; results are identical to calling KNN per
+// query, only the scheduling differs.
 func (x *Index) KNNBatch(qs [][]float64, k int, c float64) ([][]Neighbor, error) {
-	res, err := x.ix.KNNBatch(qs, k, c)
+	res, err := x.ix.SearchBatch(context.Background(), qs, k, core.SearchOptions{C: c})
 	if res == nil {
 		return nil, err
 	}
@@ -192,34 +200,42 @@ func (x *Index) KNNBatch(qs [][]float64, k int, c float64) ([][]Neighbor, error)
 // The query runs a dual-branch self-join over the PM-tree in projected
 // space, so it requires the default PM-tree index; an index built with
 // UseRTree returns an error.
+//
+// ClosestPairs is a shim over SearchPairs and answers element-wise
+// identically to it.
 func (x *Index) ClosestPairs(k int, c float64) ([]Pair, error) {
-	res, err := x.ix.ClosestPairs(k, c)
+	res, err := x.ix.SearchPairs(context.Background(), k, core.SearchOptions{C: c})
 	return convertPairs(res), err
 }
 
-// ClosestPairsWithStats is ClosestPairs plus per-query work statistics.
-// Like QueryStats, the ProjectedDistComps field is the delta of a
-// tree-wide counter and includes work from concurrently running
-// queries.
+// ClosestPairsWithStats is ClosestPairs plus per-query work
+// statistics — a shim over SearchPairs with WithPairStats. Every
+// field, ProjectedDistComps included, is exact for this query.
 func (x *Index) ClosestPairsWithStats(k int, c float64) ([]Pair, CPStats, error) {
-	res, st, err := x.ix.ClosestPairsWithStats(k, c)
+	var st CPStats
+	res, err := x.ix.SearchPairs(context.Background(), k, core.SearchOptions{C: c, PairStats: &st})
 	return convertPairs(res), st, err
 }
 
 // ClosestPairsParallel is ClosestPairs with candidate verification
 // fanned across a worker pool of up to GOMAXPROCS goroutines
-// (mirroring KNNBatch). Termination is checked per verification batch
+// (mirroring KNNBatch) — a shim over SearchPairs with
+// WithParallelVerify. Termination is checked per verification batch
 // instead of per pair, so it may examine slightly more candidates than
 // ClosestPairs — the result carries the same (c,k) guarantee and is,
 // rank by rank, at least as close.
 func (x *Index) ClosestPairsParallel(k int, c float64) ([]Pair, error) {
-	res, err := x.ix.ClosestPairsParallel(k, c)
+	res, err := x.ix.SearchPairs(context.Background(), k, core.SearchOptions{C: c, Parallel: true})
 	return convertPairs(res), err
 }
 
 // BallCover answers an (r,c)-ball-cover query (Definition 3): if some
 // point lies within r of q it returns, with constant probability, a
 // point within c·r; if no point lies within c·r it returns nil.
+// BallCover is a shim over SearchBall and answers identically to it —
+// except that, unlike the options surface (where a non-positive ratio
+// selects the default), BallCover keeps its original contract and
+// rejects c <= 1.
 func (x *Index) BallCover(q []float64, r, c float64) (*Neighbor, error) {
 	res, err := x.ix.BallCover(q, r, c)
 	if err != nil || res == nil {
@@ -251,7 +267,13 @@ func Load(r io.Reader) (*Index, error) {
 	return &Index{ix: ix}, nil
 }
 
+// convertPairs maps core pairs to the public type, preserving
+// nil-in/nil-out: an empty query answer stays nil instead of becoming
+// an allocated zero-length slice.
 func convertPairs(res []core.Pair) []Pair {
+	if res == nil {
+		return nil
+	}
 	out := make([]Pair, len(res))
 	for i, r := range res {
 		out[i] = Pair{I: r.I, J: r.J, Dist: r.Dist}
@@ -259,7 +281,12 @@ func convertPairs(res []core.Pair) []Pair {
 	return out
 }
 
+// convert maps core results to the public type, preserving
+// nil-in/nil-out (see convertPairs).
 func convert(res []core.Result) []Neighbor {
+	if res == nil {
+		return nil
+	}
 	out := make([]Neighbor, len(res))
 	for i, r := range res {
 		out[i] = Neighbor{ID: r.ID, Dist: r.Dist}

@@ -1,21 +1,21 @@
 #!/usr/bin/env bash
 # bench_trajectory.sh — run the headline engine benchmarks and write
 # BENCH_<pr>.json so the perf trajectory accumulates machine-readable
-# data points (ns/op, B/op, allocs/op, pdc/op for the serial, batch and
-# churned QueryK50 paths).
+# data points (ns/op, B/op, allocs/op, pdc/op for the serial, batch,
+# churned and filtered QueryK50 paths).
 #
 # Usage: scripts/bench_trajectory.sh [output.json]
-#   PR        tag for the stacked-PR sequence number   (default: 4)
+#   PR        tag for the stacked-PR sequence number   (default: 5)
 #   BENCHTIME go test -benchtime value                 (default: 1s)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pr="${PR:-4}"
+pr="${PR:-5}"
 out="${1:-BENCH_${pr}.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(go test -run '^$' \
-  -bench '^(BenchmarkQueryK50|BenchmarkKNNSerial|BenchmarkKNNBatch|BenchmarkQueryK50Churned)$' \
+  -bench '^(BenchmarkQueryK50|BenchmarkKNNSerial|BenchmarkKNNBatch|BenchmarkQueryK50Churned|BenchmarkQueryK50Filtered)$' \
   -benchtime "$benchtime" .)"
 echo "$raw"
 echo "$raw" | go run ./cmd/benchjson -pr "$pr" > "$out"
