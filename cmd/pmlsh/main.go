@@ -4,10 +4,10 @@
 //
 // Usage:
 //
-//	pmlsh build -data vectors.f64 -index out.pmlsh [-m 15] [-pivots 5]
+//	pmlsh build -data vectors.f64 -index out.pmlsh [-m 15] [-pivots 5] [-quantize none|f32|i8]
 //	pmlsh query -index out.pmlsh -k 10 -c 1.5 -point "0.1,0.2,..." [-alpha1 0.2] [-budget 500] [-timeout 1s]
 //	pmlsh cp    -index out.pmlsh -k 10 -c 1.5 [-par] [-timeout 1s]
-//	pmlsh bench -index out.pmlsh -k 10 -c 1.5 -queries 100 [-par] [-timeout 10s] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	pmlsh bench -index out.pmlsh -k 10 -c 1.5 -queries 100 [-par] [-quantize none|f32|i8] [-timeout 10s] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	pmlsh churn -data vectors.f64 [-ops 2000] [-delfrac 0.4] [-k 10]
 //	pmlsh info  -index out.pmlsh
 //
@@ -86,16 +86,21 @@ func runBuild(args []string) error {
 	m := fs.Int("m", 0, "hash functions (0 = 15)")
 	pivots := fs.Int("pivots", 0, "PM-tree pivots (0 = 5)")
 	seed := fs.Int64("seed", 1, "build seed")
+	quantize := fs.String("quantize", "none", "screening codec: none, f32 or i8 (persisted in the index file)")
 	fs.Parse(args)
 	if *dataPath == "" || *indexPath == "" {
 		return fmt.Errorf("build requires -data and -index")
+	}
+	qkind, err := pmlsh.ParseQuantKind(*quantize)
+	if err != nil {
+		return err
 	}
 	data, err := readDump(*dataPath)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	ix, err := pmlsh.Build(data, pmlsh.Config{M: *m, NumPivots: *pivots, Seed: *seed})
+	ix, err := pmlsh.Build(data, pmlsh.Config{M: *m, NumPivots: *pivots, Seed: *seed, Quantize: qkind})
 	if err != nil {
 		return err
 	}
@@ -212,6 +217,7 @@ func runBench(args []string) error {
 	seed := fs.Int64("seed", 1, "query sampling seed")
 	par := fs.Bool("par", false, "answer the query set with SearchBatch (parallel worker pool) and report aggregate QPS")
 	timeout := fs.Duration("timeout", 0, "deadline for the whole query loop (0 = none)")
+	quantize := fs.String("quantize", "", "override the index's screening codec for this run: none, f32 or i8 (empty = keep the loaded one)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the query loop to this file (go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file after the query loop")
 	fs.Parse(args)
@@ -221,6 +227,15 @@ func runBench(args []string) error {
 	ix, err := loadIndex(*indexPath)
 	if err != nil {
 		return err
+	}
+	if *quantize != "" {
+		qkind, err := pmlsh.ParseQuantKind(*quantize)
+		if err != nil {
+			return err
+		}
+		if err := ix.SetQuantize(qkind); err != nil {
+			return err
+		}
 	}
 	// The memprofile defer is registered first so that (LIFO) it runs
 	// AFTER StopCPUProfile: the GC and heap serialization must not be
@@ -274,32 +289,48 @@ func runBench(args []string) error {
 			return err
 		}
 		elapsed := time.Since(start)
-		var pdc int64
+		var pdc, screened, verified int64
 		for _, st := range stats {
 			pdc += st.ProjectedDistComps
+			screened += int64(st.Screened)
+			verified += int64(st.Verified)
 		}
-		fmt.Printf("%d queries (batch, %d workers), k=%d, c=%.2f\n",
-			len(qs), runtime.GOMAXPROCS(0), *k, *c)
+		fmt.Printf("%d queries (batch, %d workers), k=%d, c=%.2f, quantize=%v\n",
+			len(qs), runtime.GOMAXPROCS(0), *k, *c, ix.Quantize())
 		fmt.Printf("wall time: %v\n", elapsed.Round(time.Microsecond))
 		fmt.Printf("aggregate: %.0f queries/s\n", float64(len(qs))/elapsed.Seconds())
 		fmt.Printf("mean projected dist comps: %.0f/query (exact per query)\n",
 			float64(pdc)/float64(len(qs)))
+		printScreenRate(ix, screened, verified)
 		return nil
 	}
 	start := time.Now()
-	verified := 0
+	var screened, verified int64
 	var st pmlsh.QueryStats
 	for _, q := range qs {
 		if _, err := ix.Search(ctx, q, *k, pmlsh.WithRatio(*c), pmlsh.WithStats(&st)); err != nil {
 			return err
 		}
-		verified += st.Verified
+		screened += int64(st.Screened)
+		verified += int64(st.Verified)
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("%d queries, k=%d, c=%.2f\n", len(qs), *k, *c)
+	fmt.Printf("%d queries, k=%d, c=%.2f, quantize=%v\n", len(qs), *k, *c, ix.Quantize())
 	fmt.Printf("mean latency: %v\n", (elapsed / time.Duration(len(qs))).Round(time.Microsecond))
 	fmt.Printf("mean verified: %.0f points/query\n", float64(verified)/float64(len(qs)))
+	printScreenRate(ix, screened, verified)
 	return nil
+}
+
+// printScreenRate reports what share of verification candidates the
+// quantized screen rejected without an exact distance computation.
+// Silent without a codec — there is no screen to report on.
+func printScreenRate(ix *pmlsh.Index, screened, verified int64) {
+	if ix.Quantize() == pmlsh.QuantNone || verified == 0 {
+		return
+	}
+	fmt.Printf("screen-reject rate: %.1f%% (%d of %d candidates)\n",
+		100*float64(screened)/float64(verified), screened, verified)
 }
 
 // runChurn drives a mutable-serving workload over a dataset dump: it

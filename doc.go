@@ -149,6 +149,30 @@
 // README.md ("Performance") for the measured trajectory and the
 // BENCH_*.json format it is recorded in.
 //
+// # Distance kernels and quantized screening
+//
+// The hot distance kernels (exact, early-abandoning, one-against-many
+// and dot product) dispatch to AVX2 assembly on amd64 CPUs that
+// support it, selected once at startup; the portable Go fallbacks are
+// bit-identical — same accumulation order, no FMA contraction — so
+// results do not depend on the backend. Build with -tags noasm to
+// force the fallbacks.
+//
+// Config.Quantize (QuantF32 or QuantI8) adds a scalar-quantized
+// sidecar to the vector store and screens verification candidates
+// with a provable lower bound computed from the compact codes: a
+// candidate is skipped only when the bound already exceeds the
+// current k-th best distance, so results, statistics and the (c,k)
+// guarantee are element-wise identical to an unquantized index —
+// screening only saves full-precision row accesses. The rejected
+// count is reported per query as QueryStats.Screened. Screening pays
+// when the dataset is much larger than the CPU cache (an i8 code row
+// is 8x smaller than its f64 row); on cache-resident data it is
+// neutral. SetQuantize installs or drops the codec on a live index,
+// and Compact refits the i8 parameter range to the live points.
+// Serialized indexes (WriteTo/Load) carry the codec parameters;
+// codes are re-derived on load, bit-identically.
+//
 // # Queries and concurrency
 //
 // Every method is safe for concurrent use. Queries — Search,

@@ -50,9 +50,16 @@ type CPStats struct {
 	// projected-space self-join, including pairs re-enumerated by later
 	// rounds.
 	Enumerated int
-	// Verified is the number of unique pairs whose original-space
-	// distance was computed.
+	// Verified is the number of unique pairs admitted to verification.
+	// When quantized screening is on (Config.Quantize), pairs rejected
+	// by the screen still count here — Verified measures candidate-set
+	// size, which screening does not change.
 	Verified int
+	// Screened is the number of admitted pairs whose exact distance
+	// computation was skipped because the quantized lower bound already
+	// exceeded the current k-th best pair distance. Always 0 without
+	// Config.Quantize. Screened ≤ Verified.
+	Screened int
 	// ProjectedDistComps is the number of projected-space metric
 	// evaluations inside the PM-tree traversal. Like the KNN statistic,
 	// it is exact for the query it describes — the pair enumerator
@@ -133,6 +140,7 @@ func (ix *Index) searchPairsSerial(ctx context.Context, s *cpParams, filter func
 	top := make([]Pair, 0, s.k) // Dist holds squared distances until return
 	bound := math.Inf(1)        // current k-th best squared distance
 	seen := make(map[[2]int32]bool, s.budget)
+	codec := ix.data.Codec() // nil unless Config.Quantize is set
 	r := s.r0
 	var pdc int64
 rounds:
@@ -164,12 +172,21 @@ rounds:
 				continue
 			}
 			st.Verified++
-			d2 := vec.SquaredL2Bounded(ix.point(cand.ID1), ix.point(cand.ID2), bound)
-			if len(top) < s.k || d2 < bound {
-				top = insertPair(top, Pair{I: cand.ID1, J: cand.ID2, Dist: d2}, s.k)
-				if len(top) == s.k {
-					bound = top[s.k-1].Dist
-					en.SetCutoff(s.projCutoff(bound))
+			// Quantized screen (reject-only, see searchLocked): with the
+			// top-k full, a pair lower bound above the k-th best distance
+			// skips the exact computation without changing the answer.
+			r1, r2 := int(ix.rowOf[cand.ID1]), int(ix.rowOf[cand.ID2])
+			if codec != nil && len(top) == s.k &&
+				codec.PairLowerBound(r1, r2, bound) > bound {
+				st.Screened++
+			} else {
+				d2 := vec.SquaredL2Bounded(ix.data.Row(r1), ix.data.Row(r2), bound)
+				if len(top) < s.k || d2 < bound {
+					top = insertPair(top, Pair{I: cand.ID1, J: cand.ID2, Dist: d2}, s.k)
+					if len(top) == s.k {
+						bound = top[s.k-1].Dist
+						en.SetCutoff(s.projCutoff(bound))
+					}
 				}
 			}
 			// Termination 2: enough unique admitted pairs verified.
@@ -225,6 +242,8 @@ func (ix *Index) searchPairsParallel(ctx context.Context, s *cpParams, filter fu
 	seen := make(map[[2]int32]bool, s.budget)
 	cands := make([]pmtree.PairCandidate, 0, cpBatchSize)
 	d2s := make([]float64, cpBatchSize)
+	scr := make([]bool, cpBatchSize) // scr[i]: cands[i] was screened, d2s[i] is not exact
+	codec := ix.data.Codec()         // nil unless Config.Quantize is set
 	r := s.r0
 	var pdc int64
 rounds:
@@ -264,6 +283,13 @@ rounds:
 			// abandons later, and an abandoned partial sum still exceeds
 			// every bound the merge below could compare it against.
 			snap := bound
+			// Screening inside the workers compares against the snapshot;
+			// the merge bound only shrinks from there, so a screened
+			// pair's lower bound exceeds whatever bound the merge holds —
+			// it could never have been inserted, same as serial. Screening
+			// is armed only when the top-k was already full at snapshot
+			// time (it can only gain entries during the merge).
+			full := len(top) == s.k
 			var next atomic.Int64
 			var wg sync.WaitGroup
 			wg.Add(workers)
@@ -275,13 +301,25 @@ rounds:
 						if i >= len(cands) {
 							return
 						}
+						r1 := int(ix.rowOf[cands[i].ID1])
+						r2 := int(ix.rowOf[cands[i].ID2])
+						if codec != nil && full &&
+							codec.PairLowerBound(r1, r2, snap) > snap {
+							scr[i] = true
+							continue
+						}
+						scr[i] = false
 						d2s[i] = vec.SquaredL2Bounded(
-							ix.point(cands[i].ID1), ix.point(cands[i].ID2), snap)
+							ix.data.Row(r1), ix.data.Row(r2), snap)
 					}
 				}()
 			}
 			wg.Wait()
 			for i := range cands {
+				if scr[i] {
+					st.Screened++
+					continue
+				}
 				if d2 := d2s[i]; len(top) < s.k || d2 < bound {
 					top = insertPair(top, Pair{I: cands[i].ID1, J: cands[i].ID2, Dist: d2}, s.k)
 					if len(top) == s.k {

@@ -82,6 +82,14 @@ type Config struct {
 	// DefaultAutoCompactFraction; negative disables auto-compaction;
 	// values above 1 are rejected (the fraction can never exceed 1).
 	AutoCompactFraction float64
+	// Quantize attaches a scalar-quantized sidecar codec to the vector
+	// store (store.QuantF32 or store.QuantI8) and screens verification
+	// candidates with a provable lower bound on the exact squared
+	// distance before touching the full-precision row. Screening is
+	// reject-only: answers are element-wise identical to an unscreened
+	// index; only the amount of full-precision memory traffic changes.
+	// The zero value (store.QuantNone) disables screening.
+	Quantize store.QuantKind
 }
 
 func (cfg *Config) fillDefaults() {
@@ -117,7 +125,15 @@ type QueryStats struct {
 	// "only one or two range queries are required").
 	Rounds int
 	// Verified is the number of original-space distance computations.
+	// When quantized screening is on (Config.Quantize), candidates
+	// rejected by the screen still count here — Verified measures
+	// candidate-set size, which screening does not change.
 	Verified int
+	// Screened is the number of verification candidates whose exact
+	// distance computation was skipped because the quantized lower
+	// bound already exceeded the current k-th best distance. Always 0
+	// without Config.Quantize. Screened ≤ Verified.
+	Screened int
 	// ProjectedDistComps is the number of projected-space metric
 	// evaluations inside the PM-tree. The count is exact for the query
 	// it describes — the range enumerator counts its own evaluations —
@@ -329,6 +345,14 @@ func BuildFromStore(s *store.Store, cfg Config) (*Index, error) {
 	if cfg.AutoCompactFraction > 1 {
 		return nil, fmt.Errorf("core: AutoCompactFraction must be <= 1, got %v", cfg.AutoCompactFraction)
 	}
+	switch cfg.Quantize {
+	case store.QuantNone, store.QuantF32, store.QuantI8:
+	default:
+		return nil, fmt.Errorf("core: unknown Quantize kind %d", cfg.Quantize)
+	}
+	if s.Quantize() != cfg.Quantize {
+		s.SetQuantize(cfg.Quantize)
+	}
 	dim := s.Dim()
 
 	proj, err := lsh.NewProjection(cfg.M, dim, cfg.Seed)
@@ -467,6 +491,32 @@ func replaceSorted(s []float64, j int, d float64) {
 	}
 }
 
+// SetQuantize installs (kind f32 or i8), refits, or drops (kind none)
+// the quantized screening codec over the current dataset, updating
+// Config.Quantize for future Compacts and saves. Refitting recovers
+// screen selectivity after out-of-range inserts have widened the
+// per-dimension slack. SetQuantize takes the writer lock; queries
+// before and after answer identically — only screening work changes.
+func (ix *Index) SetQuantize(kind store.QuantKind) error {
+	switch kind {
+	case store.QuantNone, store.QuantF32, store.QuantI8:
+	default:
+		return fmt.Errorf("core: unknown Quantize kind %d", kind)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.cfg.Quantize = kind
+	ix.data.SetQuantize(kind)
+	return nil
+}
+
+// Quantize reports the screening codec the index currently maintains.
+func (ix *Index) Quantize() store.QuantKind {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.data.Quantize()
+}
+
 // Delete removes the point with the given id. The id stays retired
 // forever — later Inserts get fresh ids — while the point's storage row
 // is tombstoned and recycled. When the tombstoned share of the store
@@ -538,6 +588,10 @@ func (ix *Index) compactLocked() error {
 		}
 		ids = append(ids, idOf[row])
 	}
+	// Re-quantizing after the repack refits the codec's affine
+	// parameters to the surviving rows, recovering screen selectivity
+	// that out-of-range inserts (clamped codes, widened slack) erode.
+	fresh.SetQuantize(ix.cfg.Quantize)
 	rowOf := make([]int32, len(ix.rowOf))
 	for i := range rowOf {
 		rowOf[i] = -1

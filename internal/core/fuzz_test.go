@@ -1,17 +1,20 @@
 package core
 
 // Native fuzz target for index deserialization: corrupt or truncated
-// v1–v3 streams must produce an error, never a panic or an
+// v1–v4 streams must produce an error, never a panic or an
 // unbounded allocation. The seed corpus (testdata/fuzz/FuzzLoad plus
-// the f.Add seeds below) contains genuine v1, v2 and v3 streams —
-// including a churned v3 with tombstones and retired ids — and
-// truncated/bit-flipped variants the fuzzer mutates further.
+// the f.Add seeds below) contains genuine v1–v4 streams — including a
+// churned v3 with tombstones and retired ids and a quantized v4 with a
+// codec section — and truncated/bit-flipped variants the fuzzer
+// mutates further.
 //
 // Run with: go test -fuzz=FuzzLoad -fuzztime=10s ./internal/core
 
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/store"
 )
 
 // fuzzStreams builds one small index per format version (plus a
@@ -23,13 +26,22 @@ func fuzzStreams(tb testing.TB) [][]byte {
 		tb.Fatal(err)
 	}
 	var out [][]byte
-	for version := 1; version <= 3; version++ {
+	for version := 1; version <= 4; version++ {
 		var buf bytes.Buffer
 		if err := ix.encode(&buf, version); err != nil {
 			tb.Fatal(err)
 		}
 		out = append(out, buf.Bytes())
 	}
+	quantized, err := Build(data, Config{M: 3, NumPivots: 2, Seed: 7, DistSampleSize: 16, Quantize: store.QuantI8})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var qbuf bytes.Buffer
+	if _, err := quantized.WriteTo(&qbuf); err != nil {
+		tb.Fatal(err)
+	}
+	out = append(out, qbuf.Bytes())
 	churned, err := Build(data, Config{M: 3, NumPivots: 2, Seed: 7, DistSampleSize: 16, AutoCompactFraction: -1})
 	if err != nil {
 		tb.Fatal(err)

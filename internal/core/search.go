@@ -192,6 +192,7 @@ func (ix *Index) searchLocked(ctx context.Context, q []float64, k int, o SearchO
 	top := make([]Result, 0, k) // Dist holds squared distances until return
 	bound := math.Inf(1)        // current k-th best squared distance
 	scanned := 0                // candidates streamed by the enumerator, admitted or not
+	codec := ix.data.Codec()    // nil unless Config.Quantize is set
 	for {
 		// Cancellation is checked between rounds: each round is one
 		// tree expansion plus one bounded verification sweep.
@@ -208,11 +209,22 @@ func (ix *Index) searchLocked(ctx context.Context, q []float64, k int, o SearchO
 				continue
 			}
 			st.Verified++
-			d2 := vec.SquaredL2Bounded(q, ix.point(pr.ID), bound)
-			if len(top) < k || d2 < bound {
-				top = insertCandidate(top, Result{ID: pr.ID, Dist: d2}, k)
-				if len(top) == k {
-					bound = top[k-1].Dist
+			// Quantized screen: once the top-k is full, a lower bound
+			// above the k-th best distance proves the exact distance is
+			// too (reject-only), so the full-precision row need not be
+			// touched. The candidate still counts toward the βn+k budget
+			// — screening changes memory traffic, never the answer.
+			row := int(ix.rowOf[pr.ID])
+			if codec != nil && len(top) == k &&
+				codec.QueryLowerBound(q, row, bound) > bound {
+				st.Screened++
+			} else {
+				d2 := vec.SquaredL2Bounded(q, ix.data.Row(row), bound)
+				if len(top) < k || d2 < bound {
+					top = insertCandidate(top, Result{ID: pr.ID, Dist: d2}, k)
+					if len(top) == k {
+						bound = top[k-1].Dist
+					}
 				}
 			}
 			if st.Verified >= needed {
@@ -361,13 +373,22 @@ func (ix *Index) SearchBall(ctx context.Context, q []float64, r float64, o Searc
 	// abandonment; filtered-out candidates cost no exact distance and
 	// do not count toward the overflow threshold.
 	best := Result{ID: -1, Dist: math.Inf(1)}
-	admitted := 0
+	admitted, screened := 0, 0
+	codec := ix.data.Codec()
 	for _, pr := range sc.emit {
 		if o.Filter != nil && !o.Filter(pr.ID) {
 			continue
 		}
 		admitted++
-		d2 := vec.SquaredL2Bounded(q, ix.point(pr.ID), best.Dist)
+		row := int(ix.rowOf[pr.ID])
+		// Screen once a best exists (finite bound): a lower bound above
+		// best.Dist proves the exact distance cannot improve it.
+		if codec != nil && best.ID >= 0 &&
+			codec.QueryLowerBound(q, row, best.Dist) > best.Dist {
+			screened++
+			continue
+		}
+		d2 := vec.SquaredL2Bounded(q, ix.data.Row(row), best.Dist)
 		if d2 < best.Dist {
 			best = Result{ID: pr.ID, Dist: d2}
 		}
@@ -379,6 +400,7 @@ func (ix *Index) SearchBall(ctx context.Context, q []float64, r float64, o Searc
 		*o.Stats = QueryStats{
 			Rounds:             1,
 			Verified:           admitted,
+			Screened:           screened,
 			ProjectedDistComps: en.DistComps(),
 			FinalRadius:        r,
 		}

@@ -16,7 +16,7 @@ import (
 
 // Binary serialization of a PM-LSH index. The stream is little-endian:
 //
-//	magic "PLS3"
+//	magic "PLS4"
 //	config: m u32 | pivots u32 | capacity u32 | alpha1 f64 | seed i64 |
 //	        sampleSize u32 | rminShrink f64 | beta f64 |
 //	        autoCompact f64 (v3) | useRTree u8
@@ -27,17 +27,24 @@ import (
 //	tombstoned rows keep their last values)
 //	free list (v3): u32 count + count × i32 slots, in push order
 //	rowOf (v3): nextID × i32 (id → slot, -1 = deleted)
+//	quantize (v4): kind u8; then for i8: off + scale (dim × f64 each);
+//	for f32 and i8: slack (dim × f64)
 //	PM-tree stream (absent when useRTree: the R-tree is rebuilt from
 //	the stored projections on load, which is cheap relative to I/O)
 //
 // Version 3 adds the mutation-lifecycle state: the tombstone free list
 // and the id → row indirection, so an index saved mid-churn loads with
 // the same live set, the same retired ids, and the same slot-recycling
-// order for future Inserts. Versions 1 and 2 (no churn state: identity
-// id mapping, no tombstones) still load. A loaded index answers
-// queries identically to the saved one.
+// order for future Inserts. Version 4 adds the quantized-screening
+// codec: only the per-dimension parameters travel — the codes are
+// re-derived deterministically from the stored rows on load
+// (store.RestoreCodec), reproducing bit-identical screen bounds at a
+// cost of 8·dim·3 bytes instead of a full code matrix. Versions 1–3
+// still load (with Quantize = none). A loaded index answers queries
+// identically to the saved one.
 
-var plsMagic = [4]byte{'P', 'L', 'S', '3'}
+var plsMagic = [4]byte{'P', 'L', 'S', '4'}
+var plsMagicV3 = [4]byte{'P', 'L', 'S', '3'}
 var plsMagicV2 = [4]byte{'P', 'L', 'S', '2'}
 var plsMagicV1 = [4]byte{'P', 'L', 'S', '1'}
 
@@ -49,7 +56,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	defer ix.mu.RUnlock()
 	bw := bufio.NewWriterSize(w, 1<<20)
 	cw := &countingWriter{w: bw}
-	if err := ix.encode(cw, 3); err != nil {
+	if err := ix.encode(cw, 4); err != nil {
 		return cw.n, err
 	}
 	if err := bw.Flush(); err != nil {
@@ -69,9 +76,14 @@ func (ix *Index) encode(w io.Writer, version int) error {
 		magic = plsMagicV1
 	case 2:
 		magic = plsMagicV2
+	case 3:
+		magic = plsMagicV3
 	}
 	if version < 3 && (ix.data.Live() != ix.data.Len() || len(ix.rowOf) != ix.data.Len()) {
 		return fmt.Errorf("core: format v%d cannot represent tombstones or retired ids", version)
+	}
+	if version < 4 && ix.data.Quantize() != store.QuantNone {
+		return fmt.Errorf("core: format v%d cannot represent a quantized codec", version)
 	}
 	if _, err := w.Write(magic[:]); err != nil {
 		return fmt.Errorf("core: write magic: %w", err)
@@ -146,6 +158,26 @@ func (ix *Index) encode(w io.Writer, version int) error {
 			}
 		}
 	}
+	if version >= 4 {
+		kind := ix.data.Quantize()
+		if _, err := w.Write([]byte{byte(kind)}); err != nil {
+			return fmt.Errorf("core: write quantize kind: %w", err)
+		}
+		if c := ix.data.Codec(); c != nil {
+			off, scale, slack := c.Params()
+			if kind == store.QuantI8 {
+				if err := writeFloat64s(w, off); err != nil {
+					return fmt.Errorf("core: write codec offsets: %w", err)
+				}
+				if err := writeFloat64s(w, scale); err != nil {
+					return fmt.Errorf("core: write codec scales: %w", err)
+				}
+			}
+			if err := writeFloat64s(w, slack); err != nil {
+				return fmt.Errorf("core: write codec slack: %w", err)
+			}
+		}
+	}
 	if !cfg.UseRTree {
 		if _, err := ix.tree.WriteTo(w); err != nil {
 			return fmt.Errorf("core: write tree: %w", err)
@@ -161,9 +193,11 @@ func Load(r io.Reader) (*Index, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("core: read magic: %w", err)
 	}
-	version := 3
+	version := 4
 	switch magic {
 	case plsMagic:
+	case plsMagicV3:
+		version = 3
 	case plsMagicV2:
 		version = 2
 	case plsMagicV1:
@@ -332,6 +366,39 @@ func Load(r io.Reader) (*Index, error) {
 		}
 	}
 	live := data.Live()
+
+	// Quantized-screening codec (v4): re-derive the codes from the rows
+	// just loaded under the persisted per-dimension parameters.
+	// RestoreCodec validates the kind and parameter shapes.
+	if version >= 4 {
+		var qb [1]byte
+		if _, err := io.ReadFull(br, qb[:]); err != nil {
+			return nil, fmt.Errorf("core: read quantize kind: %w", err)
+		}
+		kind := store.QuantKind(qb[0])
+		var off, scale, slack []float64
+		switch kind {
+		case store.QuantNone:
+		case store.QuantF32, store.QuantI8:
+			if kind == store.QuantI8 {
+				if off, err = readFloat64s(br, dim); err != nil {
+					return nil, fmt.Errorf("core: read codec offsets: %w", err)
+				}
+				if scale, err = readFloat64s(br, dim); err != nil {
+					return nil, fmt.Errorf("core: read codec scales: %w", err)
+				}
+			}
+			if slack, err = readFloat64s(br, dim); err != nil {
+				return nil, fmt.Errorf("core: read codec slack: %w", err)
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown quantize kind %d", kind)
+		}
+		if err := data.RestoreCodec(kind, off, scale, slack); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		cfg.Quantize = kind
+	}
 
 	// identityMap: the common no-churn layout (every legacy stream, and
 	// any v3 stream saved before its first Delete).

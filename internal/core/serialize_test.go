@@ -139,7 +139,7 @@ func TestLoadAcceptsLegacyVersions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, version := range []int{1, 2} {
+	for _, version := range []int{1, 2, 3} {
 		var buf bytes.Buffer
 		if err := orig.encode(&buf, version); err != nil {
 			t.Fatal(err)
@@ -182,6 +182,112 @@ func TestLegacyEncodeRejectsChurnState(t *testing.T) {
 	var buf bytes.Buffer
 	if err := ix.encode(&buf, 2); err == nil {
 		t.Fatal("v2 encode of a tombstoned index should fail")
+	}
+}
+
+// Pre-quantization formats cannot represent the codec; the legacy
+// encoder must refuse rather than silently drop it.
+func TestLegacyEncodeRejectsQuantized(t *testing.T) {
+	data := clusteredData(100, 8, 3, 640)
+	ix, err := Build(data, Config{Seed: 29, Quantize: store.QuantI8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.encode(&buf, 3); err == nil {
+		t.Fatal("v3 encode of a quantized index should fail")
+	}
+}
+
+// A quantized index must round-trip with bit-identical screen bounds:
+// only the per-dim codec parameters travel, the codes are re-derived
+// from the loaded rows, and a loaded index keeps screening (same
+// answers, Screened still firing).
+func TestSerializeQuantizedRoundTrip(t *testing.T) {
+	for _, kind := range []store.QuantKind{store.QuantF32, store.QuantI8} {
+		t.Run(kind.String(), func(t *testing.T) {
+			data := clusteredData(500, 14, 5, 641)
+			ix, err := Build(data, Config{Seed: 30, Quantize: kind, AutoCompactFraction: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Churn so the free list is non-trivial and appends have gone
+			// through the live codec. Inserts stay inside the fitted range
+			// (jittered copies of existing points) — far-out inserts would
+			// widen the per-dim slack and legitimately disarm the screen,
+			// which is not what this test is about.
+			rng := rand.New(rand.NewSource(642))
+			for _, id := range rng.Perm(500)[:80] {
+				if err := ix.Delete(int32(id)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 40; i++ {
+				src := data[rng.Intn(len(data))]
+				p := make([]float64, 14)
+				for j := range p {
+					p[j] = src[j] + rng.NormFloat64()*0.5
+				}
+				if _, err := ix.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var buf bytes.Buffer
+			if _, err := ix.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.cfg.Quantize != kind || loaded.data.Quantize() != kind {
+				t.Fatalf("quantize kind lost: cfg=%v store=%v", loaded.cfg.Quantize, loaded.data.Quantize())
+			}
+			// Screen bounds must be bit-identical, not just close: the
+			// codes re-derived on load under the persisted parameters are
+			// the same bytes the saved index held.
+			c1, c2 := ix.data.Codec(), loaded.data.Codec()
+			for trial := 0; trial < 30; trial++ {
+				q := make([]float64, 14)
+				for j := range q {
+					q[j] = rng.NormFloat64() * 20
+				}
+				row := rng.Intn(ix.data.Len())
+				a := c1.QueryLowerBound(q, row, 100)
+				b := c2.QueryLowerBound(q, row, 100)
+				if a != b {
+					t.Fatalf("screen bound diverged after load: row=%d %v vs %v", row, a, b)
+				}
+			}
+			// And the loaded index answers identically, still screening.
+			screened := 0
+			for trial := 0; trial < 15; trial++ {
+				q := make([]float64, 14)
+				for j := range q {
+					q[j] = rng.NormFloat64() * 20
+				}
+				ra, err := ix.KNN(q, 8, 1.5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rb, st, err := loaded.KNNWithStats(q, 8, 1.5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(ra) != len(rb) {
+					t.Fatalf("trial %d: %d vs %d results", trial, len(ra), len(rb))
+				}
+				for i := range ra {
+					if ra[i] != rb[i] {
+						t.Fatalf("trial %d rank %d: %+v vs %+v", trial, i, ra[i], rb[i])
+					}
+				}
+				screened += st.Screened
+			}
+			if screened == 0 {
+				t.Fatal("loaded index never screened")
+			}
+		})
 	}
 }
 

@@ -307,7 +307,11 @@ func (e *RangeEnumerator) expandNode(n *node, hasParent bool, qpd float64) {
 			if hasParent {
 				lb = math.Abs(qpd - en.parentDist)
 			}
-			for k, pd := range en.pivotDist {
+			pdv := en.pivotDist
+			if len(pdv) > len(qp) {
+				pdv = pdv[:len(qp)] // never taken; hoists the qp bounds check
+			}
+			for k, pd := range pdv {
 				if b := math.Abs(qp[k] - pd); b > lb {
 					lb = b
 				}

@@ -26,12 +26,14 @@ package store
 import "fmt"
 
 // Store is a dense matrix of n rows × dim columns in one flat buffer,
-// with a tombstone set and a free list for deleted slots.
+// with a tombstone set and a free list for deleted slots, and an
+// optional quantized sidecar (see quantize.go) kept in sync by Append.
 type Store struct {
-	dim  int
-	buf  []float64 // len(buf) == n*dim at all times
-	dead []bool    // dead[i] marks slot i tombstoned; nil while no deletes
-	free []int32   // stack of dead slots, reused LIFO by Append
+	dim   int
+	buf   []float64 // len(buf) == n*dim at all times
+	dead  []bool    // dead[i] marks slot i tombstoned; nil while no deletes
+	free  []int32   // stack of dead slots, reused LIFO by Append
+	codec *Codec    // quantized sidecar, nil unless SetQuantize/RestoreCodec
 }
 
 // New creates an empty store for rows of the given dimensionality.
@@ -123,10 +125,17 @@ func (s *Store) Append(p []float64) (int32, error) {
 		s.free = s.free[:n-1]
 		s.dead[id] = false
 		copy(s.Row(int(id)), p)
+		if s.codec != nil {
+			s.codec.encode(int(id), p, true)
+		}
 		return id, nil
 	}
 	id := int32(s.Len())
 	s.buf = append(s.buf, p...)
+	if s.codec != nil {
+		s.codec.ensureSlots(int(id) + 1)
+		s.codec.encode(int(id), p, true)
+	}
 	return id, nil
 }
 

@@ -1,0 +1,273 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2 distance kernels. Bit-for-bit contract with kernels_generic.go:
+// the single 4-lane ymm accumulator maps lane j onto the portable
+// loop's accumulator sj (lane j sees exactly the elements with index
+// ≡ j mod 4, in order), every reduction associates as ((s0+s1)+s2)+s3,
+// the scalar tail runs sequentially after the reduction, and no fused
+// multiply-add is used anywhere (the reference rounds the multiply and
+// the add separately). SquaredL2Bounded reproduces the stride-16
+// abandon blocks: four unrolled vector steps, then the partial
+// reduction compared against the bound — an abandoning pass returns
+// the same partial sum the portable loop returns.
+//
+// The loops stream both operands in address order with unaligned
+// loads; one accumulator suffices because the VADDPD dependency chain
+// (4 elements per ~4-cycle latency) already matches the loads the
+// single load port pair can retire, and a second accumulator would
+// break the reduction-order contract.
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func dotAVX2(a, b []float64) float64
+TEXT ·dotAVX2(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), DI
+	MOVQ a_len+8(FP), CX
+	VXORPD Y0, Y0, Y0
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+dot_vec:
+	CMPQ AX, DX
+	JGE  dot_reduce
+	VMOVUPD (SI)(AX*8), Y1
+	VMULPD  (DI)(AX*8), Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	ADDQ $4, AX
+	JMP  dot_vec
+
+dot_reduce:
+	VEXTRACTF128 $1, Y0, X2 // X2 = [s2,s3]
+	VUNPCKHPD X0, X0, X3    // X3 = [s1,s1]
+	VADDSD X3, X0, X0       // s0+s1
+	VADDSD X2, X0, X0       // +s2
+	VUNPCKHPD X2, X2, X2    // X2 = [s3,s3]
+	VADDSD X2, X0, X0       // +s3
+
+dot_tail:
+	CMPQ AX, CX
+	JGE  dot_done
+	VMOVSD (SI)(AX*8), X1
+	VMULSD (DI)(AX*8), X1, X1
+	VADDSD X1, X0, X0
+	INCQ AX
+	JMP  dot_tail
+
+dot_done:
+	VMOVSD X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func squaredL2AVX2(a, b []float64) float64
+TEXT ·squaredL2AVX2(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), DI
+	MOVQ a_len+8(FP), CX
+	VXORPD Y0, Y0, Y0
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+l2_vec:
+	CMPQ AX, DX
+	JGE  l2_reduce
+	VMOVUPD (SI)(AX*8), Y1
+	VSUBPD  (DI)(AX*8), Y1, Y1
+	VMULPD  Y1, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	ADDQ $4, AX
+	JMP  l2_vec
+
+l2_reduce:
+	VEXTRACTF128 $1, Y0, X2
+	VUNPCKHPD X0, X0, X3
+	VADDSD X3, X0, X0
+	VADDSD X2, X0, X0
+	VUNPCKHPD X2, X2, X2
+	VADDSD X2, X0, X0
+
+l2_tail:
+	CMPQ AX, CX
+	JGE  l2_done
+	VMOVSD (SI)(AX*8), X1
+	VSUBSD (DI)(AX*8), X1, X1
+	VMULSD X1, X1, X1
+	VADDSD X1, X0, X0
+	INCQ AX
+	JMP  l2_tail
+
+l2_done:
+	VMOVSD X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func squaredL2BoundedAVX2(a, b []float64, bound float64) float64
+//
+// The caller guarantees bound > 0. Stride-16 abandon blocks: four
+// unrolled vector steps, one partial reduction, one compare. The
+// compare branches JBE (continue) so an unordered result — a NaN
+// partial or a NaN bound — continues like the portable `p > bound`
+// evaluating false.
+TEXT ·squaredL2BoundedAVX2(SB), NOSPLIT, $0-64
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), DI
+	MOVQ a_len+8(FP), CX
+	VMOVSD bound+48(FP), X15
+	VXORPD Y0, Y0, Y0
+	XORQ AX, AX
+	MOVQ CX, R8
+	ANDQ $-16, R8
+
+bd_block:
+	CMPQ AX, R8
+	JGE  bd_mid_setup
+	VMOVUPD (SI)(AX*8), Y1
+	VSUBPD  (DI)(AX*8), Y1, Y1
+	VMULPD  Y1, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD 32(SI)(AX*8), Y2
+	VSUBPD  32(DI)(AX*8), Y2, Y2
+	VMULPD  Y2, Y2, Y2
+	VADDPD  Y2, Y0, Y0
+	VMOVUPD 64(SI)(AX*8), Y3
+	VSUBPD  64(DI)(AX*8), Y3, Y3
+	VMULPD  Y3, Y3, Y3
+	VADDPD  Y3, Y0, Y0
+	VMOVUPD 96(SI)(AX*8), Y4
+	VSUBPD  96(DI)(AX*8), Y4, Y4
+	VMULPD  Y4, Y4, Y4
+	VADDPD  Y4, Y0, Y0
+	ADDQ $16, AX
+
+	// p = ((s0+s1)+s2)+s3 into X1, Y0 preserved for later blocks.
+	VEXTRACTF128 $1, Y0, X2
+	VUNPCKHPD X0, X0, X3
+	VADDSD X3, X0, X1
+	VADDSD X2, X1, X1
+	VUNPCKHPD X2, X2, X3
+	VADDSD X3, X1, X1
+	VUCOMISD X15, X1
+	JBE  bd_block
+
+	// p > bound: abandon with the partial sum.
+	VMOVSD X1, ret+56(FP)
+	VZEROUPPER
+	RET
+
+bd_mid_setup:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+bd_mid:
+	CMPQ AX, DX
+	JGE  bd_reduce
+	VMOVUPD (SI)(AX*8), Y1
+	VSUBPD  (DI)(AX*8), Y1, Y1
+	VMULPD  Y1, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	ADDQ $4, AX
+	JMP  bd_mid
+
+bd_reduce:
+	VEXTRACTF128 $1, Y0, X2
+	VUNPCKHPD X0, X0, X3
+	VADDSD X3, X0, X0
+	VADDSD X2, X0, X0
+	VUNPCKHPD X2, X2, X2
+	VADDSD X2, X0, X0
+
+bd_tail:
+	CMPQ AX, CX
+	JGE  bd_done
+	VMOVSD (SI)(AX*8), X1
+	VSUBSD (DI)(AX*8), X1, X1
+	VMULSD X1, X1, X1
+	VADDSD X1, X0, X0
+	INCQ AX
+	JMP  bd_tail
+
+bd_done:
+	VMOVSD X0, ret+56(FP)
+	VZEROUPPER
+	RET
+
+// func squaredL2ToManyAVX2(dst []float64, q, flat []float64, dim int)
+//
+// One squaredL2 pass per row, the outer loop in assembly so the
+// per-row call overhead vanishes and the flat buffer streams through
+// in one address-ordered walk. The caller validates the shapes
+// (len(dst) rows of dim values in flat, len(q) == dim > 0).
+TEXT ·squaredL2ToManyAVX2(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), R10
+	MOVQ dst_len+8(FP), R11
+	MOVQ q_base+24(FP), SI
+	MOVQ flat_base+48(FP), DI
+	MOVQ dim+72(FP), CX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+	XORQ R9, R9
+
+tm_row:
+	CMPQ R9, R11
+	JGE  tm_done
+	VXORPD Y0, Y0, Y0
+	XORQ AX, AX
+
+tm_vec:
+	CMPQ AX, DX
+	JGE  tm_reduce
+	VMOVUPD (SI)(AX*8), Y1
+	VSUBPD  (DI)(AX*8), Y1, Y1
+	VMULPD  Y1, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	ADDQ $4, AX
+	JMP  tm_vec
+
+tm_reduce:
+	VEXTRACTF128 $1, Y0, X2
+	VUNPCKHPD X0, X0, X3
+	VADDSD X3, X0, X0
+	VADDSD X2, X0, X0
+	VUNPCKHPD X2, X2, X2
+	VADDSD X2, X0, X0
+
+tm_tail:
+	CMPQ AX, CX
+	JGE  tm_store
+	VMOVSD (SI)(AX*8), X1
+	VSUBSD (DI)(AX*8), X1, X1
+	VMULSD X1, X1, X1
+	VADDSD X1, X0, X0
+	INCQ AX
+	JMP  tm_tail
+
+tm_store:
+	VMOVSD X0, (R10)(R9*8)
+	LEAQ (DI)(CX*8), DI
+	INCQ R9
+	JMP  tm_row
+
+tm_done:
+	VZEROUPPER
+	RET

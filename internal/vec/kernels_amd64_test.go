@@ -1,0 +1,231 @@
+//go:build amd64 && !noasm
+
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The AVX2 backend promises bit-identical results to the portable
+// kernels. These tests pin that promise exhaustively: every kernel,
+// every dimension from 1 through 130 (covering all vector/tail and
+// abandon-block residues several times over) plus an embedding-sized
+// 768, on unaligned slices, with values spanning many magnitudes.
+
+func requireAVX2(t *testing.T) {
+	t.Helper()
+	if !useAVX2 {
+		t.Skip("host does not support AVX2; assembly backend untestable")
+	}
+}
+
+// testVector returns a length-n slice whose backing array is offset so
+// the data pointer is 8-byte but not 32-byte aligned half the time,
+// exercising the unaligned loads in the assembly.
+func testVector(rng *rand.Rand, n int) []float64 {
+	off := rng.Intn(4)
+	backing := make([]float64, n+off)
+	v := backing[off : off+n : off+n]
+	for i := range v {
+		// Spread magnitudes so accumulation order matters: any
+		// reassociation in the backend shows up as a bit flip.
+		v[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(13)-6))
+	}
+	return v
+}
+
+func equivDims() []int {
+	dims := make([]int, 0, 131)
+	for d := 1; d <= 130; d++ {
+		dims = append(dims, d)
+	}
+	return append(dims, 768)
+}
+
+func TestAVX2DotBitIdentical(t *testing.T) {
+	requireAVX2(t)
+	rng := rand.New(rand.NewSource(601))
+	for _, d := range equivDims() {
+		for rep := 0; rep < 4; rep++ {
+			a, b := testVector(rng, d), testVector(rng, d)
+			got, want := dotAVX2(a, b), dotGeneric(a, b)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("dot dim=%d: avx2=%v generic=%v", d, got, want)
+			}
+		}
+	}
+}
+
+func TestAVX2SquaredL2BitIdentical(t *testing.T) {
+	requireAVX2(t)
+	rng := rand.New(rand.NewSource(602))
+	for _, d := range equivDims() {
+		for rep := 0; rep < 4; rep++ {
+			a, b := testVector(rng, d), testVector(rng, d)
+			got, want := squaredL2AVX2(a, b), squaredL2Generic(a, b)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("squaredL2 dim=%d: avx2=%v generic=%v", d, got, want)
+			}
+		}
+	}
+}
+
+// TestAVX2BoundedBitIdentical pins both halves of the bounded
+// contract: full passes match SquaredL2 bit for bit, and abandoning
+// passes return the identical partial sum at the identical stride-16
+// block boundary.
+func TestAVX2BoundedBitIdentical(t *testing.T) {
+	requireAVX2(t)
+	rng := rand.New(rand.NewSource(603))
+	for _, d := range equivDims() {
+		for rep := 0; rep < 4; rep++ {
+			a, b := testVector(rng, d), testVector(rng, d)
+			exact := squaredL2Generic(a, b)
+			bounds := []float64{
+				math.Inf(1),  // never abandons: full bit-identical pass
+				exact * 2,    // never abandons
+				exact,        // strict > comparison: still full pass
+				exact * 0.75, // may abandon mid-scan
+				exact * 0.25, // abandons early for d >= 16
+				exact * 1e-3, // abandons at the first block
+				math.SmallestNonzeroFloat64,
+			}
+			for _, bound := range bounds {
+				if bound <= 0 { // constant-zero rows make exact == 0
+					continue
+				}
+				got := squaredL2BoundedAVX2(a, b, bound)
+				want := squaredL2BoundedGeneric(a, b, bound)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("bounded dim=%d bound=%v: avx2=%v generic=%v (exact=%v)",
+						d, bound, got, want, exact)
+				}
+				if (got > bound) != (want > bound) {
+					t.Fatalf("bounded dim=%d bound=%v: abandon disagreement avx2=%v generic=%v",
+						d, bound, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAVX2ToManyBitIdentical(t *testing.T) {
+	requireAVX2(t)
+	rng := rand.New(rand.NewSource(604))
+	for _, d := range equivDims() {
+		rows := 1 + rng.Intn(7)
+		q := testVector(rng, d)
+		flat := testVector(rng, rows*d)
+		got := make([]float64, rows)
+		want := make([]float64, rows)
+		squaredL2ToManyAVX2(got, q, flat, d)
+		squaredL2ToManyGeneric(want, q, flat, d)
+		for r := range got {
+			if math.Float64bits(got[r]) != math.Float64bits(want[r]) {
+				t.Fatalf("toMany dim=%d row=%d: avx2=%v generic=%v", d, r, got[r], want[r])
+			}
+		}
+	}
+}
+
+// sameBits reports whether two results are bit-identical, treating any
+// two NaNs as equal: NaN payload bits are not pinned by the contract
+// (the Go compiler may commute float operands, which changes which
+// payload an x86 arithmetic instruction propagates).
+func sameBits(g, w float64) bool {
+	return math.Float64bits(g) == math.Float64bits(w) ||
+		(math.IsNaN(g) && math.IsNaN(w))
+}
+
+// TestAVX2SpecialValues runs the kernels over NaN, infinities,
+// denormals, and signed zeros: the backends must propagate them
+// identically (any NaN matching any NaN).
+func TestAVX2SpecialValues(t *testing.T) {
+	requireAVX2(t)
+	specials := []float64{
+		0, math.Copysign(0, -1), 1, -1,
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.MaxFloat64, -math.MaxFloat64, 5e-324, 1e-308,
+	}
+	rng := rand.New(rand.NewSource(605))
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + rng.Intn(40)
+		a, b := make([]float64, d), make([]float64, d)
+		for i := range a {
+			a[i] = specials[rng.Intn(len(specials))]
+			b[i] = specials[rng.Intn(len(specials))]
+		}
+		if g, w := dotAVX2(a, b), dotGeneric(a, b); !sameBits(g, w) {
+			t.Fatalf("dot specials d=%d: avx2=%v generic=%v (a=%v b=%v)", d, g, w, a, b)
+		}
+		if g, w := squaredL2AVX2(a, b), squaredL2Generic(a, b); !sameBits(g, w) {
+			t.Fatalf("squaredL2 specials d=%d: avx2=%v generic=%v (a=%v b=%v)", d, g, w, a, b)
+		}
+		for _, bound := range []float64{1, math.Inf(1), math.NaN()} {
+			g := squaredL2BoundedAVX2(a, b, bound)
+			w := squaredL2BoundedGeneric(a, b, bound)
+			if !sameBits(g, w) {
+				t.Fatalf("bounded specials d=%d bound=%v: avx2=%v generic=%v (a=%v b=%v)",
+					d, bound, g, w, a, b)
+			}
+		}
+	}
+}
+
+// TestDispatchedKernelsMatchGeneric exercises the exported entry points
+// against the portable kernels with the backend as detected, so the
+// dispatch wiring itself (not just the assembly) is covered.
+func TestDispatchedKernelsMatchGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for _, d := range equivDims() {
+		a, b := testVector(rng, d), testVector(rng, d)
+		if g, w := Dot(a, b), dotGeneric(a, b); math.Float64bits(g) != math.Float64bits(w) {
+			t.Fatalf("Dot dim=%d: dispatched=%v generic=%v", d, g, w)
+		}
+		if g, w := SquaredL2(a, b), squaredL2Generic(a, b); math.Float64bits(g) != math.Float64bits(w) {
+			t.Fatalf("SquaredL2 dim=%d: dispatched=%v generic=%v", d, g, w)
+		}
+		exact := squaredL2Generic(a, b)
+		for _, bound := range []float64{exact * 0.5, exact * 2} {
+			if bound <= 0 {
+				continue
+			}
+			g := SquaredL2Bounded(a, b, bound)
+			w := squaredL2BoundedGeneric(a, b, bound)
+			if math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("SquaredL2Bounded dim=%d bound=%v: dispatched=%v generic=%v", d, bound, g, w)
+			}
+		}
+	}
+}
+
+// TestBackendName sanity-checks the reported backend string against the
+// dispatch flag.
+func TestBackendName(t *testing.T) {
+	want := "generic"
+	if useAVX2 {
+		want = "avx2"
+	}
+	if got := Backend(); got != want {
+		t.Fatalf("Backend() = %q, want %q", got, want)
+	}
+}
+
+// TestForcedGenericDispatch swaps the portable kernels into the
+// dispatch variables and checks the exported entry points follow.
+func TestForcedGenericDispatch(t *testing.T) {
+	savedImpl, savedName := squaredL2Impl, backendName
+	defer func() { squaredL2Impl, backendName = savedImpl, savedName }()
+	squaredL2Impl, backendName = squaredL2Generic, "generic"
+	if Backend() != "generic" {
+		t.Fatalf("Backend() = %q with dispatch forced off", Backend())
+	}
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{5, 4, 3, 2, 1}
+	if g, w := SquaredL2(a, b), squaredL2Generic(a, b); g != w {
+		t.Fatalf("forced-generic SquaredL2 = %v, want %v", g, w)
+	}
+}

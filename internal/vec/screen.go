@@ -1,0 +1,207 @@
+package vec
+
+import "math"
+
+// Quantized candidate screening: lower-bound a squared L2 distance from
+// compressed codes (float32 or int8 + per-dimension affine params) plus
+// a per-dimension error slack, reading 4–8× fewer bytes than the exact
+// kernel. The contract is reject-only soundness, NOT bit-identity
+// across backends:
+//
+//	ScreenLowerBound*(…, bound) ≤ exact squared distance, always,
+//
+// provided each true component x[j] satisfies |x[j] − y[j]| ≤ slack[j]
+// for the decoded y[j] = float64(code) (f32) or off[j] + scale[j]·code
+// computed as a separate mul then add (i8 — no FMA; the codec measures
+// slack against exactly that arithmetic). The per-dimension terms are
+// max(0, |q[j]−y[j]| − slack[j])², and the accumulated sum is scaled by
+// screenSafety, which dominates the kernels' own rounding for any
+// dimensionality below screenMaxDim, so callers may treat a return
+// value strictly greater than bound as proof the exact distance
+// exceeds bound. The AVX2 and generic backends may differ in final
+// ulps (unlike the exact kernels); both honor the inequality.
+//
+// Like SquaredL2Bounded, the scan abandons once the partial sum passes
+// bound and returns that partial sum — still a valid lower bound. NaN
+// or ±Inf anywhere (codes, params, slack, query) collapses the
+// affected terms to 0: the screen loses power but never rejects
+// wrongly.
+
+// screenSafety is the factor the accumulated lower-bound sum is scaled
+// by to absorb the screen kernels' own floating-point rounding: each
+// term is a product of O(1) correctly-rounded operations and the sum
+// adds one rounding per dimension, so the relative error stays far
+// below 2⁻³⁰ for any supported dimensionality.
+const screenSafety = 1 - 1.0/(1<<30)
+
+// screenMaxDim bounds the dimensionality for which screenSafety's
+// rounding analysis holds (with ~2¹⁰ margin); above it the screens
+// return 0 (never reject) rather than risk unsoundness.
+const screenMaxDim = 1 << 20
+
+// The screen kernels dispatch like the exact kernels (see vec.go):
+// generic by default, upgraded to AVX2 by dispatch_amd64.go's init.
+var (
+	screenF32Impl     = screenF32Generic
+	screenI8Impl      = screenI8Generic
+	screenPairF32Impl = screenPairF32Generic
+	screenPairI8Impl  = screenPairI8Generic
+)
+
+// adjustScreenBound maps a caller bound to the raw-sum domain: the
+// kernels compare their unscaled partial sums against bound/screenSafety
+// so that an abandon still guarantees raw·screenSafety > bound. A
+// non-positive or NaN bound disables abandonment.
+func adjustScreenBound(bound float64) float64 {
+	if !(bound > 0) || math.IsInf(bound, 1) {
+		return math.Inf(1)
+	}
+	return bound / screenSafety
+}
+
+// ScreenLowerBoundF32 returns a provable lower bound on the squared L2
+// distance between q and the row encoded by the float32 codes, given
+// the per-dimension error slack. Once the partial bound exceeds bound
+// the scan abandons (the return value is then > bound and still a
+// valid lower bound). It panics if the lengths differ.
+func ScreenLowerBoundF32(q []float64, codes []float32, slack []float64, bound float64) float64 {
+	if len(codes) != len(q) || len(slack) != len(q) {
+		panic("vec: dimension mismatch in ScreenLowerBoundF32")
+	}
+	if len(q) >= screenMaxDim {
+		return 0
+	}
+	return screenF32Impl(q, codes, slack, adjustScreenBound(bound)) * screenSafety
+}
+
+// ScreenLowerBoundI8 is ScreenLowerBoundF32 for int8 codes under the
+// per-dimension affine decode off[j] + scale[j]·code.
+func ScreenLowerBoundI8(q []float64, codes []int8, off, scale, slack []float64, bound float64) float64 {
+	if len(codes) != len(q) || len(off) != len(q) || len(scale) != len(q) || len(slack) != len(q) {
+		panic("vec: dimension mismatch in ScreenLowerBoundI8")
+	}
+	if len(q) >= screenMaxDim {
+		return 0
+	}
+	return screenI8Impl(q, codes, off, scale, slack, adjustScreenBound(bound)) * screenSafety
+}
+
+// ScreenPairLowerBoundF32 lower-bounds the squared L2 distance between
+// the two rows encoded by c1 and c2. slack2 is the pair slack (each
+// row contributes its own encoding error; the store's codec supplies
+// 2·slack). Abandon semantics match ScreenLowerBoundF32.
+func ScreenPairLowerBoundF32(c1, c2 []float32, slack2 []float64, bound float64) float64 {
+	if len(c2) != len(c1) || len(slack2) != len(c1) {
+		panic("vec: dimension mismatch in ScreenPairLowerBoundF32")
+	}
+	if len(c1) >= screenMaxDim {
+		return 0
+	}
+	return screenPairF32Impl(c1, c2, slack2, adjustScreenBound(bound)) * screenSafety
+}
+
+// ScreenPairLowerBoundI8 is the int8 pair screen. The affine offsets
+// cancel in the difference, so only scale is needed: each term is
+// max(0, scale[j]·|c1[j]−c2[j]| − slack2[j])², where slack2 must also
+// absorb the decode-magnitude rounding of the cancellation (the
+// store's codec does).
+func ScreenPairLowerBoundI8(c1, c2 []int8, scale, slack2 []float64, bound float64) float64 {
+	if len(c2) != len(c1) || len(scale) != len(c1) || len(slack2) != len(c1) {
+		panic("vec: dimension mismatch in ScreenPairLowerBoundI8")
+	}
+	if len(c1) >= screenMaxDim {
+		return 0
+	}
+	return screenPairI8Impl(c1, c2, scale, slack2, adjustScreenBound(bound)) * screenSafety
+}
+
+// The portable screen kernels. Terms accumulate through a `t > 0`
+// guard, which is also what collapses NaN/−Inf terms to 0. boundAdj is
+// +Inf or positive finite (see adjustScreenBound); partial sums are
+// checked every abandonStride components like the exact bounded
+// kernel.
+
+func screenF32Generic(q []float64, codes []float32, slack []float64, boundAdj float64) float64 {
+	var s float64
+	i, n := 0, len(q)
+	for {
+		blk := i + abandonStride
+		if blk > n {
+			blk = n
+		}
+		for ; i < blk; i++ {
+			t := math.Abs(q[i]-float64(codes[i])) - slack[i]
+			if t > 0 {
+				s += t * t
+			}
+		}
+		if i == n || s > boundAdj {
+			return s
+		}
+	}
+}
+
+func screenI8Generic(q []float64, codes []int8, off, scale, slack []float64, boundAdj float64) float64 {
+	var s float64
+	i, n := 0, len(q)
+	for {
+		blk := i + abandonStride
+		if blk > n {
+			blk = n
+		}
+		for ; i < blk; i++ {
+			// Separate mul and add: must not fuse into an FMA, the
+			// codec's slack bounds the error of this exact decode.
+			p := scale[i] * float64(codes[i])
+			y := off[i] + p
+			t := math.Abs(q[i]-y) - slack[i]
+			if t > 0 {
+				s += t * t
+			}
+		}
+		if i == n || s > boundAdj {
+			return s
+		}
+	}
+}
+
+func screenPairF32Generic(c1, c2 []float32, slack2 []float64, boundAdj float64) float64 {
+	var s float64
+	i, n := 0, len(c1)
+	for {
+		blk := i + abandonStride
+		if blk > n {
+			blk = n
+		}
+		for ; i < blk; i++ {
+			t := math.Abs(float64(c1[i])-float64(c2[i])) - slack2[i]
+			if t > 0 {
+				s += t * t
+			}
+		}
+		if i == n || s > boundAdj {
+			return s
+		}
+	}
+}
+
+func screenPairI8Generic(c1, c2 []int8, scale, slack2 []float64, boundAdj float64) float64 {
+	var s float64
+	i, n := 0, len(c1)
+	for {
+		blk := i + abandonStride
+		if blk > n {
+			blk = n
+		}
+		for ; i < blk; i++ {
+			p := scale[i] * math.Abs(float64(c1[i])-float64(c2[i]))
+			t := p - slack2[i]
+			if t > 0 {
+				s += t * t
+			}
+		}
+		if i == n || s > boundAdj {
+			return s
+		}
+	}
+}

@@ -1,0 +1,88 @@
+//go:build amd64 && !noasm
+
+package vec
+
+import "math"
+
+// AVX2 screen backends. The assembly bodies (screen_amd64.s) process
+// the 4-aligned prefix with the same term arithmetic as the generic
+// kernels — separate mul/add decode (no FMA), NaN terms collapsed to 0
+// via MAXPD's NaN-forwards-second-source rule, stride-16 abandon
+// checks — and the ≤3-element tail accumulates here in Go. The screens
+// owe only the lower-bound inequality, not cross-backend bit-identity,
+// so splitting body and tail across languages is fine.
+
+func screenF32AVX2(q []float64, codes []float32, slack []float64, boundAdj float64) float64 {
+	n4 := len(q) &^ 3
+	s := screenF32Body(q[:n4:n4], codes, slack, boundAdj)
+	if s > boundAdj {
+		return s
+	}
+	for i := n4; i < len(q); i++ {
+		t := math.Abs(q[i]-float64(codes[i])) - slack[i]
+		if t > 0 {
+			s += t * t
+		}
+	}
+	return s
+}
+
+func screenI8AVX2(q []float64, codes []int8, off, scale, slack []float64, boundAdj float64) float64 {
+	n4 := len(q) &^ 3
+	s := screenI8Body(q[:n4:n4], codes, off, scale, slack, boundAdj)
+	if s > boundAdj {
+		return s
+	}
+	for i := n4; i < len(q); i++ {
+		p := scale[i] * float64(codes[i])
+		y := off[i] + p
+		t := math.Abs(q[i]-y) - slack[i]
+		if t > 0 {
+			s += t * t
+		}
+	}
+	return s
+}
+
+func screenPairF32AVX2(c1, c2 []float32, slack2 []float64, boundAdj float64) float64 {
+	n4 := len(c1) &^ 3
+	s := screenPairF32Body(c1[:n4:n4], c2, slack2, boundAdj)
+	if s > boundAdj {
+		return s
+	}
+	for i := n4; i < len(c1); i++ {
+		t := math.Abs(float64(c1[i])-float64(c2[i])) - slack2[i]
+		if t > 0 {
+			s += t * t
+		}
+	}
+	return s
+}
+
+func screenPairI8AVX2(c1, c2 []int8, scale, slack2 []float64, boundAdj float64) float64 {
+	n4 := len(c1) &^ 3
+	s := screenPairI8Body(c1[:n4:n4], c2, scale, slack2, boundAdj)
+	if s > boundAdj {
+		return s
+	}
+	for i := n4; i < len(c1); i++ {
+		p := scale[i] * math.Abs(float64(c1[i])-float64(c2[i]))
+		t := p - slack2[i]
+		if t > 0 {
+			s += t * t
+		}
+	}
+	return s
+}
+
+// Implemented in screen_amd64.s. Each requires len of the first slice
+// to be a multiple of 4 (the wrappers slice to n&^3) and boundAdj to be
+// positive or +Inf.
+
+func screenF32Body(q []float64, codes []float32, slack []float64, boundAdj float64) float64
+
+func screenI8Body(q []float64, codes []int8, off, scale, slack []float64, boundAdj float64) float64
+
+func screenPairF32Body(c1, c2 []float32, slack2 []float64, boundAdj float64) float64
+
+func screenPairI8Body(c1, c2 []int8, scale, slack2 []float64, boundAdj float64) float64

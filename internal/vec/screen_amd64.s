@@ -1,0 +1,412 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2 screening kernels: lower-bound a squared L2 distance from
+// quantized codes. Per 4 dimensions: decode the codes to float64
+// (VCVTPS2PD for float32, VPMOVSXBD+VCVTDQ2PD then a separate VMULPD
+// scale / VADDPD off — never an FMA, the codec's slack bounds the
+// error of exactly that mul-then-add decode), take |q−y| − slack,
+// clamp at zero, square, accumulate. The clamp is VMAXPD with the zero
+// register as the SECOND source: MAXPD forwards the second source when
+// either operand is NaN, which collapses NaN terms to 0 — the screen
+// loses power on poisoned dimensions but never overestimates.
+//
+// Two accumulators (no cross-backend bit-identity is owed here, unlike
+// kernels_amd64.s, so the extra ILP is free) and stride-16 abandon
+// blocks: four unrolled vector steps, a non-destructive partial
+// reduction, one VUCOMISD against boundAdj with JBE-continue so an
+// unordered compare (NaN partial) continues scanning. The caller
+// guarantees the element count is a multiple of 4 and handles the
+// scalar tail (screen_amd64.go).
+
+DATA screenAbsMask<>+0x00(SB)/8, $0x7fffffffffffffff
+DATA screenAbsMask<>+0x08(SB)/8, $0x7fffffffffffffff
+DATA screenAbsMask<>+0x10(SB)/8, $0x7fffffffffffffff
+DATA screenAbsMask<>+0x18(SB)/8, $0x7fffffffffffffff
+GLOBL screenAbsMask<>(SB), RODATA|NOPTR, $32
+
+// func screenF32Body(q []float64, codes []float32, slack []float64, boundAdj float64) float64
+TEXT ·screenF32Body(SB), NOSPLIT, $0-88
+	MOVQ q_base+0(FP), SI
+	MOVQ codes_base+24(FP), BX
+	MOVQ slack_base+48(FP), R10
+	MOVQ q_len+8(FP), CX
+	VMOVSD boundAdj+72(FP), X11
+	VMOVUPD screenAbsMask<>(SB), Y13
+	VXORPD Y15, Y15, Y15
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	XORQ AX, AX
+	MOVQ CX, R12
+	ANDQ $-16, R12
+
+sf_block:
+	CMPQ AX, R12
+	JGE  sf_mid
+	VCVTPS2PD (BX)(AX*4), Y4
+	VMOVUPD   (SI)(AX*8), Y5
+	VSUBPD    Y4, Y5, Y4
+	VANDPD    Y13, Y4, Y4
+	VSUBPD    (R10)(AX*8), Y4, Y4
+	VMAXPD    Y15, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y0, Y0
+	VCVTPS2PD 16(BX)(AX*4), Y6
+	VMOVUPD   32(SI)(AX*8), Y7
+	VSUBPD    Y6, Y7, Y6
+	VANDPD    Y13, Y6, Y6
+	VSUBPD    32(R10)(AX*8), Y6, Y6
+	VMAXPD    Y15, Y6, Y6
+	VMULPD    Y6, Y6, Y6
+	VADDPD    Y6, Y1, Y1
+	VCVTPS2PD 32(BX)(AX*4), Y4
+	VMOVUPD   64(SI)(AX*8), Y5
+	VSUBPD    Y4, Y5, Y4
+	VANDPD    Y13, Y4, Y4
+	VSUBPD    64(R10)(AX*8), Y4, Y4
+	VMAXPD    Y15, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y0, Y0
+	VCVTPS2PD 48(BX)(AX*4), Y6
+	VMOVUPD   96(SI)(AX*8), Y7
+	VSUBPD    Y6, Y7, Y6
+	VANDPD    Y13, Y6, Y6
+	VSUBPD    96(R10)(AX*8), Y6, Y6
+	VMAXPD    Y15, Y6, Y6
+	VMULPD    Y6, Y6, Y6
+	VADDPD    Y6, Y1, Y1
+	ADDQ $16, AX
+
+	// Partial reduce into X2, accumulators preserved.
+	VADDPD Y1, Y0, Y2
+	VEXTRACTF128 $1, Y2, X3
+	VADDPD X3, X2, X2
+	VUNPCKHPD X2, X2, X3
+	VADDSD X3, X2, X2
+	VUCOMISD X11, X2
+	JBE  sf_block
+
+	// Partial > boundAdj: abandon with the partial sum.
+	VMOVSD X2, ret+80(FP)
+	VZEROUPPER
+	RET
+
+sf_mid:
+	CMPQ AX, CX
+	JGE  sf_reduce
+	VCVTPS2PD (BX)(AX*4), Y4
+	VMOVUPD   (SI)(AX*8), Y5
+	VSUBPD    Y4, Y5, Y4
+	VANDPD    Y13, Y4, Y4
+	VSUBPD    (R10)(AX*8), Y4, Y4
+	VMAXPD    Y15, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y0, Y0
+	ADDQ $4, AX
+	JMP  sf_mid
+
+sf_reduce:
+	VADDPD Y1, Y0, Y2
+	VEXTRACTF128 $1, Y2, X3
+	VADDPD X3, X2, X2
+	VUNPCKHPD X2, X2, X3
+	VADDSD X3, X2, X2
+	VMOVSD X2, ret+80(FP)
+	VZEROUPPER
+	RET
+
+// func screenI8Body(q []float64, codes []int8, off, scale, slack []float64, boundAdj float64) float64
+TEXT ·screenI8Body(SB), NOSPLIT, $0-136
+	MOVQ q_base+0(FP), SI
+	MOVQ codes_base+24(FP), BX
+	MOVQ off_base+48(FP), R8
+	MOVQ scale_base+72(FP), R9
+	MOVQ slack_base+96(FP), R10
+	MOVQ q_len+8(FP), CX
+	VMOVSD boundAdj+120(FP), X11
+	VMOVUPD screenAbsMask<>(SB), Y13
+	VXORPD Y15, Y15, Y15
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	XORQ AX, AX
+	MOVQ CX, R12
+	ANDQ $-16, R12
+
+si_block:
+	CMPQ AX, R12
+	JGE  si_mid
+	VPMOVSXBD (BX)(AX*1), X4
+	VCVTDQ2PD X4, Y4
+	VMULPD    (R9)(AX*8), Y4, Y4
+	VADDPD    (R8)(AX*8), Y4, Y4
+	VMOVUPD   (SI)(AX*8), Y5
+	VSUBPD    Y4, Y5, Y4
+	VANDPD    Y13, Y4, Y4
+	VSUBPD    (R10)(AX*8), Y4, Y4
+	VMAXPD    Y15, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y0, Y0
+	VPMOVSXBD 4(BX)(AX*1), X6
+	VCVTDQ2PD X6, Y6
+	VMULPD    32(R9)(AX*8), Y6, Y6
+	VADDPD    32(R8)(AX*8), Y6, Y6
+	VMOVUPD   32(SI)(AX*8), Y7
+	VSUBPD    Y6, Y7, Y6
+	VANDPD    Y13, Y6, Y6
+	VSUBPD    32(R10)(AX*8), Y6, Y6
+	VMAXPD    Y15, Y6, Y6
+	VMULPD    Y6, Y6, Y6
+	VADDPD    Y6, Y1, Y1
+	VPMOVSXBD 8(BX)(AX*1), X4
+	VCVTDQ2PD X4, Y4
+	VMULPD    64(R9)(AX*8), Y4, Y4
+	VADDPD    64(R8)(AX*8), Y4, Y4
+	VMOVUPD   64(SI)(AX*8), Y5
+	VSUBPD    Y4, Y5, Y4
+	VANDPD    Y13, Y4, Y4
+	VSUBPD    64(R10)(AX*8), Y4, Y4
+	VMAXPD    Y15, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y0, Y0
+	VPMOVSXBD 12(BX)(AX*1), X6
+	VCVTDQ2PD X6, Y6
+	VMULPD    96(R9)(AX*8), Y6, Y6
+	VADDPD    96(R8)(AX*8), Y6, Y6
+	VMOVUPD   96(SI)(AX*8), Y7
+	VSUBPD    Y6, Y7, Y6
+	VANDPD    Y13, Y6, Y6
+	VSUBPD    96(R10)(AX*8), Y6, Y6
+	VMAXPD    Y15, Y6, Y6
+	VMULPD    Y6, Y6, Y6
+	VADDPD    Y6, Y1, Y1
+	ADDQ $16, AX
+
+	VADDPD Y1, Y0, Y2
+	VEXTRACTF128 $1, Y2, X3
+	VADDPD X3, X2, X2
+	VUNPCKHPD X2, X2, X3
+	VADDSD X3, X2, X2
+	VUCOMISD X11, X2
+	JBE  si_block
+
+	VMOVSD X2, ret+128(FP)
+	VZEROUPPER
+	RET
+
+si_mid:
+	CMPQ AX, CX
+	JGE  si_reduce
+	VPMOVSXBD (BX)(AX*1), X4
+	VCVTDQ2PD X4, Y4
+	VMULPD    (R9)(AX*8), Y4, Y4
+	VADDPD    (R8)(AX*8), Y4, Y4
+	VMOVUPD   (SI)(AX*8), Y5
+	VSUBPD    Y4, Y5, Y4
+	VANDPD    Y13, Y4, Y4
+	VSUBPD    (R10)(AX*8), Y4, Y4
+	VMAXPD    Y15, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y0, Y0
+	ADDQ $4, AX
+	JMP  si_mid
+
+si_reduce:
+	VADDPD Y1, Y0, Y2
+	VEXTRACTF128 $1, Y2, X3
+	VADDPD X3, X2, X2
+	VUNPCKHPD X2, X2, X3
+	VADDSD X3, X2, X2
+	VMOVSD X2, ret+128(FP)
+	VZEROUPPER
+	RET
+
+// func screenPairF32Body(c1, c2 []float32, slack2 []float64, boundAdj float64) float64
+TEXT ·screenPairF32Body(SB), NOSPLIT, $0-88
+	MOVQ c1_base+0(FP), SI
+	MOVQ c2_base+24(FP), BX
+	MOVQ slack2_base+48(FP), R8
+	MOVQ c1_len+8(FP), CX
+	VMOVSD boundAdj+72(FP), X11
+	VMOVUPD screenAbsMask<>(SB), Y13
+	VXORPD Y15, Y15, Y15
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	XORQ AX, AX
+	MOVQ CX, R12
+	ANDQ $-16, R12
+
+pf_block:
+	CMPQ AX, R12
+	JGE  pf_mid
+	VCVTPS2PD (SI)(AX*4), Y4
+	VCVTPS2PD (BX)(AX*4), Y5
+	VSUBPD    Y5, Y4, Y4
+	VANDPD    Y13, Y4, Y4
+	VSUBPD    (R8)(AX*8), Y4, Y4
+	VMAXPD    Y15, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y0, Y0
+	VCVTPS2PD 16(SI)(AX*4), Y6
+	VCVTPS2PD 16(BX)(AX*4), Y7
+	VSUBPD    Y7, Y6, Y6
+	VANDPD    Y13, Y6, Y6
+	VSUBPD    32(R8)(AX*8), Y6, Y6
+	VMAXPD    Y15, Y6, Y6
+	VMULPD    Y6, Y6, Y6
+	VADDPD    Y6, Y1, Y1
+	VCVTPS2PD 32(SI)(AX*4), Y4
+	VCVTPS2PD 32(BX)(AX*4), Y5
+	VSUBPD    Y5, Y4, Y4
+	VANDPD    Y13, Y4, Y4
+	VSUBPD    64(R8)(AX*8), Y4, Y4
+	VMAXPD    Y15, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y0, Y0
+	VCVTPS2PD 48(SI)(AX*4), Y6
+	VCVTPS2PD 48(BX)(AX*4), Y7
+	VSUBPD    Y7, Y6, Y6
+	VANDPD    Y13, Y6, Y6
+	VSUBPD    96(R8)(AX*8), Y6, Y6
+	VMAXPD    Y15, Y6, Y6
+	VMULPD    Y6, Y6, Y6
+	VADDPD    Y6, Y1, Y1
+	ADDQ $16, AX
+
+	VADDPD Y1, Y0, Y2
+	VEXTRACTF128 $1, Y2, X3
+	VADDPD X3, X2, X2
+	VUNPCKHPD X2, X2, X3
+	VADDSD X3, X2, X2
+	VUCOMISD X11, X2
+	JBE  pf_block
+
+	VMOVSD X2, ret+80(FP)
+	VZEROUPPER
+	RET
+
+pf_mid:
+	CMPQ AX, CX
+	JGE  pf_reduce
+	VCVTPS2PD (SI)(AX*4), Y4
+	VCVTPS2PD (BX)(AX*4), Y5
+	VSUBPD    Y5, Y4, Y4
+	VANDPD    Y13, Y4, Y4
+	VSUBPD    (R8)(AX*8), Y4, Y4
+	VMAXPD    Y15, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y0, Y0
+	ADDQ $4, AX
+	JMP  pf_mid
+
+pf_reduce:
+	VADDPD Y1, Y0, Y2
+	VEXTRACTF128 $1, Y2, X3
+	VADDPD X3, X2, X2
+	VUNPCKHPD X2, X2, X3
+	VADDSD X3, X2, X2
+	VMOVSD X2, ret+80(FP)
+	VZEROUPPER
+	RET
+
+// func screenPairI8Body(c1, c2 []int8, scale, slack2 []float64, boundAdj float64) float64
+//
+// The affine offsets cancel in the difference: the term is
+// max(0, scale·|c1−c2| − slack2)², with the integer difference taken
+// exactly in int32 before converting.
+TEXT ·screenPairI8Body(SB), NOSPLIT, $0-112
+	MOVQ c1_base+0(FP), SI
+	MOVQ c2_base+24(FP), BX
+	MOVQ scale_base+48(FP), R8
+	MOVQ slack2_base+72(FP), R9
+	MOVQ c1_len+8(FP), CX
+	VMOVSD boundAdj+96(FP), X11
+	VXORPD Y15, Y15, Y15
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	XORQ AX, AX
+	MOVQ CX, R12
+	ANDQ $-16, R12
+
+pi_block:
+	CMPQ AX, R12
+	JGE  pi_mid
+	VPMOVSXBD (SI)(AX*1), X4
+	VPMOVSXBD (BX)(AX*1), X5
+	VPSUBD    X5, X4, X4
+	VPABSD    X4, X4
+	VCVTDQ2PD X4, Y4
+	VMULPD    (R8)(AX*8), Y4, Y4
+	VSUBPD    (R9)(AX*8), Y4, Y4
+	VMAXPD    Y15, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y0, Y0
+	VPMOVSXBD 4(SI)(AX*1), X6
+	VPMOVSXBD 4(BX)(AX*1), X7
+	VPSUBD    X7, X6, X6
+	VPABSD    X6, X6
+	VCVTDQ2PD X6, Y6
+	VMULPD    32(R8)(AX*8), Y6, Y6
+	VSUBPD    32(R9)(AX*8), Y6, Y6
+	VMAXPD    Y15, Y6, Y6
+	VMULPD    Y6, Y6, Y6
+	VADDPD    Y6, Y1, Y1
+	VPMOVSXBD 8(SI)(AX*1), X4
+	VPMOVSXBD 8(BX)(AX*1), X5
+	VPSUBD    X5, X4, X4
+	VPABSD    X4, X4
+	VCVTDQ2PD X4, Y4
+	VMULPD    64(R8)(AX*8), Y4, Y4
+	VSUBPD    64(R9)(AX*8), Y4, Y4
+	VMAXPD    Y15, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y0, Y0
+	VPMOVSXBD 12(SI)(AX*1), X6
+	VPMOVSXBD 12(BX)(AX*1), X7
+	VPSUBD    X7, X6, X6
+	VPABSD    X6, X6
+	VCVTDQ2PD X6, Y6
+	VMULPD    96(R8)(AX*8), Y6, Y6
+	VSUBPD    96(R9)(AX*8), Y6, Y6
+	VMAXPD    Y15, Y6, Y6
+	VMULPD    Y6, Y6, Y6
+	VADDPD    Y6, Y1, Y1
+	ADDQ $16, AX
+
+	VADDPD Y1, Y0, Y2
+	VEXTRACTF128 $1, Y2, X3
+	VADDPD X3, X2, X2
+	VUNPCKHPD X2, X2, X3
+	VADDSD X3, X2, X2
+	VUCOMISD X11, X2
+	JBE  pi_block
+
+	VMOVSD X2, ret+104(FP)
+	VZEROUPPER
+	RET
+
+pi_mid:
+	CMPQ AX, CX
+	JGE  pi_reduce
+	VPMOVSXBD (SI)(AX*1), X4
+	VPMOVSXBD (BX)(AX*1), X5
+	VPSUBD    X5, X4, X4
+	VPABSD    X4, X4
+	VCVTDQ2PD X4, Y4
+	VMULPD    (R8)(AX*8), Y4, Y4
+	VSUBPD    (R9)(AX*8), Y4, Y4
+	VMAXPD    Y15, Y4, Y4
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y0, Y0
+	ADDQ $4, AX
+	JMP  pi_mid
+
+pi_reduce:
+	VADDPD Y1, Y0, Y2
+	VEXTRACTF128 $1, Y2, X3
+	VADDPD X3, X2, X2
+	VUNPCKHPD X2, X2, X3
+	VADDSD X3, X2, X2
+	VMOVSD X2, ret+104(FP)
+	VZEROUPPER
+	RET

@@ -1,0 +1,273 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Screen-kernel tests: the dispatched backends and the portable
+// reference must both honor the lower-bound inequality (soundness is
+// also property-tested end to end against the codec in
+// internal/store); across backends the screens owe agreement only up
+// to rounding, unlike the exact kernels.
+
+// synthCodes quantizes x to float32 codes plus a slack that covers the
+// measured error exactly like the store codec does.
+func synthCodesF32(x []float64) (codes []float32, slack []float64) {
+	codes = make([]float32, len(x))
+	slack = make([]float64, len(x))
+	for i, v := range x {
+		codes[i] = float32(v)
+		slack[i] = math.Abs(v-float64(codes[i])) * (1 + 1.0/(1<<40))
+	}
+	return
+}
+
+// synthCodesI8 quantizes x to int8 under a per-dim affine map spanning
+// [-r, r], mirroring the codec's encode arithmetic (separate mul/add).
+func synthCodesI8(x []float64, r float64) (codes []int8, off, scale, slack []float64) {
+	n := len(x)
+	codes = make([]int8, n)
+	off = make([]float64, n)
+	scale = make([]float64, n)
+	slack = make([]float64, n)
+	for i, v := range x {
+		scale[i] = r / 127
+		q := math.Round((v - off[i]) / scale[i])
+		if q < -127 {
+			q = -127
+		} else if q > 127 {
+			q = 127
+		}
+		codes[i] = int8(q)
+		p := scale[i] * float64(codes[i])
+		y := off[i] + p
+		slack[i] = math.Abs(v-y) * (1 + 1.0/(1<<40))
+	}
+	return
+}
+
+// TestScreenF32Sound checks lb ≤ exact on random inputs across many
+// dims, for both abandoning and non-abandoning bounds, on whatever
+// backend is dispatched plus the forced generic one.
+func TestScreenF32Sound(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	for trial := 0; trial < 400; trial++ {
+		d := 1 + rng.Intn(100)
+		x := make([]float64, d)
+		q := make([]float64, d)
+		for i := range x {
+			x[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(9)-4))
+			q[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(9)-4))
+		}
+		codes, slack := synthCodesF32(x)
+		exact := squaredL2Generic(q, x)
+		for _, bound := range []float64{math.Inf(1), exact, exact / 2, exact * 2, exact / 100} {
+			lb := ScreenLowerBoundF32(q, codes, slack, bound)
+			gen := screenF32Generic(q, codes, slack, adjustScreenBound(bound)) * screenSafety
+			if lb > bound && exact <= bound {
+				t.Fatalf("d=%d bound=%v: dispatched screen rejected wrongly: lb=%v exact=%v", d, bound, lb, exact)
+			}
+			if gen > bound && exact <= bound {
+				t.Fatalf("d=%d bound=%v: generic screen rejected wrongly: lb=%v exact=%v", d, bound, gen, exact)
+			}
+			if !(lb <= bound*(1+1e-9)) && lb > exact {
+				// A full (non-abandoned) pass must be ≤ exact outright.
+				t.Fatalf("d=%d bound=%v: lb=%v > exact=%v", d, bound, lb, exact)
+			}
+		}
+		// Full pass: lower bound outright, and backends agree to rounding.
+		lb := ScreenLowerBoundF32(q, codes, slack, math.Inf(1))
+		if lb > exact {
+			t.Fatalf("d=%d: full-pass lb=%v > exact=%v", d, lb, exact)
+		}
+		gen := screenF32Generic(q, codes, slack, math.Inf(1)) * screenSafety
+		if !almostEqual(lb, gen, 1e-12) {
+			t.Fatalf("d=%d: backends disagree: dispatched=%v generic=%v", d, lb, gen)
+		}
+	}
+}
+
+func TestScreenI8Sound(t *testing.T) {
+	rng := rand.New(rand.NewSource(702))
+	for trial := 0; trial < 400; trial++ {
+		d := 1 + rng.Intn(100)
+		r := math.Pow(10, float64(rng.Intn(7)-3))
+		x := make([]float64, d)
+		q := make([]float64, d)
+		for i := range x {
+			x[i] = (rng.Float64()*2 - 1) * r
+			q[i] = (rng.Float64()*2 - 1) * r * 1.5
+		}
+		codes, off, scale, slack := synthCodesI8(x, r)
+		exact := squaredL2Generic(q, x)
+		for _, bound := range []float64{math.Inf(1), exact, exact / 2, exact / 100} {
+			lb := ScreenLowerBoundI8(q, codes, off, scale, slack, bound)
+			if lb > bound && exact <= bound {
+				t.Fatalf("d=%d bound=%v: i8 screen rejected wrongly: lb=%v exact=%v", d, bound, lb, exact)
+			}
+		}
+		lb := ScreenLowerBoundI8(q, codes, off, scale, slack, math.Inf(1))
+		if lb > exact {
+			t.Fatalf("d=%d: full-pass i8 lb=%v > exact=%v", d, lb, exact)
+		}
+		gen := screenI8Generic(q, codes, off, scale, slack, math.Inf(1)) * screenSafety
+		if !almostEqual(lb, gen, 1e-12) {
+			t.Fatalf("d=%d: i8 backends disagree: dispatched=%v generic=%v", d, lb, gen)
+		}
+	}
+}
+
+func TestScreenPairSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(703))
+	for trial := 0; trial < 400; trial++ {
+		d := 1 + rng.Intn(100)
+		r := math.Pow(10, float64(rng.Intn(7)-3))
+		x1 := make([]float64, d)
+		x2 := make([]float64, d)
+		for i := range x1 {
+			x1[i] = (rng.Float64()*2 - 1) * r
+			// Half the dims nearly equal: exercises terms near zero,
+			// where an unsound slack would reject wrongly.
+			if rng.Intn(2) == 0 {
+				x2[i] = x1[i] + (rng.Float64()-0.5)*r*1e-6
+			} else {
+				x2[i] = (rng.Float64()*2 - 1) * r
+			}
+		}
+		exact := squaredL2Generic(x1, x2)
+
+		cf1, sl1 := synthCodesF32(x1)
+		cf2, sl2 := synthCodesF32(x2)
+		slack2 := make([]float64, d)
+		for i := range slack2 {
+			slack2[i] = sl1[i] + sl2[i]
+		}
+		if lb := ScreenPairLowerBoundF32(cf1, cf2, slack2, math.Inf(1)); lb > exact {
+			t.Fatalf("d=%d: pair f32 lb=%v > exact=%v", d, lb, exact)
+		}
+
+		ci1, off, scale, qs1 := synthCodesI8(x1, r)
+		ci2 := make([]int8, d)
+		islack2 := make([]float64, d)
+		for i := range x2 {
+			qv := math.Round((x2[i] - off[i]) / scale[i])
+			if qv < -127 {
+				qv = -127
+			} else if qv > 127 {
+				qv = 127
+			}
+			ci2[i] = int8(qv)
+			p := scale[i] * float64(ci2[i])
+			y := off[i] + p
+			e2 := math.Abs(x2[i]-y) * (1 + 1.0/(1<<40))
+			// Pair slack: both rows' errors plus the decode-magnitude
+			// floor for the offset-cancellation shortcut.
+			islack2[i] = qs1[i] + e2 + (math.Abs(off[i])+256*scale[i])/(1<<40)
+		}
+		if lb := ScreenPairLowerBoundI8(ci1, ci2, scale, islack2, math.Inf(1)); lb > exact {
+			t.Fatalf("d=%d: pair i8 lb=%v > exact=%v", d, lb, exact)
+		}
+		for _, bound := range []float64{exact, exact / 3} {
+			if bound <= 0 {
+				continue
+			}
+			lb := ScreenPairLowerBoundI8(ci1, ci2, scale, islack2, bound)
+			if lb > bound && exact <= bound {
+				t.Fatalf("d=%d bound=%v: pair i8 rejected wrongly: lb=%v exact=%v", d, bound, lb, exact)
+			}
+		}
+	}
+}
+
+// TestScreenSpecialValues: NaN and Inf in the query, codes, or slack
+// must collapse the affected terms to zero on every backend — the
+// screen may lose power but must never reject wrongly, and a slack of
+// +Inf (the codec's out-of-range marker) must disarm its dimension.
+func TestScreenSpecialValues(t *testing.T) {
+	specials := []float64{0, 1, -1, math.NaN(), math.Inf(1), math.Inf(-1), math.MaxFloat64, 5e-324}
+	rng := rand.New(rand.NewSource(704))
+	for trial := 0; trial < 300; trial++ {
+		d := 1 + rng.Intn(40)
+		q := make([]float64, d)
+		slack := make([]float64, d)
+		codes := make([]float32, d)
+		for i := range q {
+			q[i] = specials[rng.Intn(len(specials))]
+			slack[i] = specials[rng.Intn(len(specials))]
+			codes[i] = float32(specials[rng.Intn(len(specials))])
+		}
+		for _, bound := range []float64{1, math.Inf(1)} {
+			lb := ScreenLowerBoundF32(q, codes, slack, bound)
+			gen := screenF32Generic(q, codes, slack, adjustScreenBound(bound)) * screenSafety
+			if math.IsNaN(lb) || lb < 0 {
+				t.Fatalf("d=%d: screen returned %v on specials (q=%v codes=%v slack=%v)", d, lb, q, codes, slack)
+			}
+			if (lb > bound) != (gen > bound) && math.Abs(lb-gen) > 1e-9*(1+gen) {
+				t.Fatalf("d=%d bound=%v: backends decide differently on specials: dispatched=%v generic=%v",
+					d, bound, lb, gen)
+			}
+		}
+	}
+	// All-Inf slack never rejects, whatever the data.
+	d := 24
+	q := make([]float64, d)
+	codes := make([]float32, d)
+	slack := make([]float64, d)
+	for i := range q {
+		q[i] = 1e9
+		codes[i] = -1e9
+		slack[i] = math.Inf(1)
+	}
+	if lb := ScreenLowerBoundF32(q, codes, slack, 1); lb != 0 {
+		t.Fatalf("Inf slack must disarm the screen, got lb=%v", lb)
+	}
+}
+
+// TestScreenAbandonIsSound: when a screen abandons (returns > bound),
+// the exact distance really does exceed bound, across a sweep of
+// bounds — on dimensions large enough to hit the stride-16 block
+// checks in both backends.
+func TestScreenAbandonIsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(705))
+	for trial := 0; trial < 200; trial++ {
+		d := 16 + rng.Intn(200)
+		x := make([]float64, d)
+		q := make([]float64, d)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			q[i] = rng.NormFloat64()
+		}
+		codes, off, scale, slack := synthCodesI8(x, 4)
+		exact := squaredL2Generic(q, x)
+		for _, frac := range []float64{0.01, 0.1, 0.5, 0.9, 0.99, 1, 1.01} {
+			bound := exact * frac
+			lb := ScreenLowerBoundI8(q, codes, off, scale, slack, bound)
+			if lb > bound && exact <= bound {
+				t.Fatalf("d=%d frac=%v: abandoning screen rejected wrongly: lb=%v exact=%v bound=%v",
+					d, frac, lb, exact, bound)
+			}
+		}
+	}
+}
+
+func TestScreenDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched screen inputs")
+		}
+	}()
+	ScreenLowerBoundF32([]float64{1, 2}, []float32{1}, []float64{0, 0}, 1)
+}
+
+// TestScreenHugeDimReturnsZero pins the screenMaxDim guard.
+func TestScreenHugeDimReturnsZero(t *testing.T) {
+	d := screenMaxDim
+	q := make([]float64, d)
+	codes := make([]float32, d)
+	slack := make([]float64, d)
+	if lb := ScreenLowerBoundF32(q, codes, slack, 1); lb != 0 {
+		t.Fatalf("screen beyond screenMaxDim must return 0, got %v", lb)
+	}
+}

@@ -2,11 +2,14 @@
 // PM-LSH reproduction: Euclidean and L1 distances, dot products, and a
 // few aggregate helpers.
 //
-// Points are plain []float64 slices. The hot kernels are written with
-// 4-way manual unrolling: Go has no portable SIMD story in the standard
-// toolchain, and unrolled scalar loops are the conventional substitute
-// (the compiler keeps the accumulators in registers and the bounds
-// checks are hoisted).
+// Points are plain []float64 slices. The hot kernels (Dot, SquaredL2,
+// SquaredL2Bounded, SquaredL2ToMany) dispatch at init to the fastest
+// backend the host supports: hand-written AVX2 assembly on amd64 CPUs
+// that advertise it, and 4-way unrolled scalar Go loops everywhere else
+// (and under -tags noasm). Both backends produce bit-identical results
+// — see kernels_generic.go for the accumulation contract — so the
+// choice of backend is invisible to callers. Backend reports which one
+// is active.
 package vec
 
 import (
@@ -14,25 +17,33 @@ import (
 	"sort"
 )
 
+// The hot kernels dispatch through these variables so the exported
+// wrappers stay small enough to inline into callers — one predicted
+// indirect call instead of a chain of wrapper frames, which matters at
+// projected dimensionality (m≈15) where call overhead rivals the
+// arithmetic. They default to the portable kernels; an init in
+// dispatch_amd64.go upgrades them to the AVX2 assembly when the CPU
+// and OS support it (and the build is not tagged noasm).
+var (
+	dotImpl              = dotGeneric
+	squaredL2Impl        = squaredL2Generic
+	squaredL2BoundedImpl = squaredL2BoundedGeneric
+	squaredL2ToManyImpl  = squaredL2ToManyGeneric
+	backendName          = "generic"
+)
+
+// Backend names the distance-kernel backend selected at init: "avx2"
+// on amd64 hosts with AVX2 support, "generic" otherwise (including
+// -tags noasm builds).
+func Backend() string { return backendName }
+
 // Dot returns the inner product of a and b.
 // It panics if the lengths differ.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("vec: dimension mismatch in Dot")
 	}
-	var s0, s1, s2, s3 float64
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		s0 += a[i] * b[i]
-		s1 += a[i+1] * b[i+1]
-		s2 += a[i+2] * b[i+2]
-		s3 += a[i+3] * b[i+3]
-	}
-	s := s0 + s1 + s2 + s3
-	for ; i < len(a); i++ {
-		s += a[i] * b[i]
-	}
-	return s
+	return dotImpl(a, b)
 }
 
 // SquaredL2 returns the squared Euclidean distance between a and b.
@@ -41,29 +52,16 @@ func SquaredL2(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("vec: dimension mismatch in SquaredL2")
 	}
-	var s0, s1, s2, s3 float64
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		d0 := a[i] - b[i]
-		d1 := a[i+1] - b[i+1]
-		d2 := a[i+2] - b[i+2]
-		d3 := a[i+3] - b[i+3]
-		s0 += d0 * d0
-		s1 += d1 * d1
-		s2 += d2 * d2
-		s3 += d3 * d3
-	}
-	s := s0 + s1 + s2 + s3
-	for ; i < len(a); i++ {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return s
+	return squaredL2Impl(a, b)
 }
 
 // L2 returns the Euclidean distance between a and b.
+// It panics if the lengths differ.
 func L2(a, b []float64) float64 {
-	return math.Sqrt(SquaredL2(a, b))
+	if len(a) != len(b) {
+		panic("vec: dimension mismatch in L2")
+	}
+	return math.Sqrt(squaredL2Impl(a, b))
 }
 
 // abandonStride is how many components SquaredL2Bounded accumulates
@@ -84,44 +82,9 @@ func SquaredL2Bounded(a, b []float64, bound float64) float64 {
 		panic("vec: dimension mismatch in SquaredL2Bounded")
 	}
 	if bound <= 0 {
-		return SquaredL2(a, b)
+		return squaredL2Impl(a, b)
 	}
-	// The accumulation pattern mirrors SquaredL2 exactly (the same four
-	// running accumulators over the same element order), so a pass that
-	// never abandons returns a bit-identical result.
-	var s0, s1, s2, s3 float64
-	i := 0
-	for ; i+abandonStride <= len(a); i += abandonStride {
-		for j := i; j < i+abandonStride; j += 4 {
-			d0 := a[j] - b[j]
-			d1 := a[j+1] - b[j+1]
-			d2 := a[j+2] - b[j+2]
-			d3 := a[j+3] - b[j+3]
-			s0 += d0 * d0
-			s1 += d1 * d1
-			s2 += d2 * d2
-			s3 += d3 * d3
-		}
-		if p := s0 + s1 + s2 + s3; p > bound {
-			return p
-		}
-	}
-	for ; i+4 <= len(a); i += 4 {
-		d0 := a[i] - b[i]
-		d1 := a[i+1] - b[i+1]
-		d2 := a[i+2] - b[i+2]
-		d3 := a[i+3] - b[i+3]
-		s0 += d0 * d0
-		s1 += d1 * d1
-		s2 += d2 * d2
-		s3 += d3 * d3
-	}
-	s := s0 + s1 + s2 + s3
-	for ; i < len(a); i++ {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return s
+	return squaredL2BoundedImpl(a, b, bound)
 }
 
 // SquaredL2ToMany computes the squared Euclidean distance from q to
@@ -146,9 +109,7 @@ func SquaredL2ToMany(dst []float64, q, flat []float64, dim int) []float64 {
 	if len(dst) != n {
 		panic("vec: dst length mismatch in SquaredL2ToMany")
 	}
-	for r := 0; r < n; r++ {
-		dst[r] = SquaredL2(q, flat[r*dim:(r+1)*dim:(r+1)*dim])
-	}
+	squaredL2ToManyImpl(dst, q, flat, dim)
 	return dst
 }
 

@@ -1,6 +1,7 @@
 package vec
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -152,5 +153,56 @@ func BenchmarkSquaredL2Bounded(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		SquaredL2Bounded(a, c, bound)
+	}
+}
+
+// Kernel microbenchmarks at the two dims the engine actually runs hot:
+// the m = 15 projected space and full-dimensional verification rows.
+// Run with and without -tags noasm to measure the dispatch gain.
+func benchPair(b *testing.B, dim int, f func(a, c []float64)) {
+	rng := rand.New(rand.NewSource(4))
+	a := make([]float64, dim)
+	c := make([]float64, dim)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		c[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f(a, c)
+	}
+}
+
+func BenchmarkSquaredL2(b *testing.B) {
+	for _, dim := range []int{15, 64, 128, 768} {
+		b.Run(fmt.Sprintf("d%d", dim), func(b *testing.B) {
+			benchPair(b, dim, func(a, c []float64) { SquaredL2(a, c) })
+		})
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	for _, dim := range []int{15, 64, 128, 768} {
+		b.Run(fmt.Sprintf("d%d", dim), func(b *testing.B) {
+			benchPair(b, dim, func(a, c []float64) { Dot(a, c) })
+		})
+	}
+}
+
+func BenchmarkSquaredL2ToMany(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	const dim, rows = 15, 256
+	q := make([]float64, dim)
+	flat := make([]float64, dim*rows)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	for i := range flat {
+		flat[i] = rng.NormFloat64()
+	}
+	out := make([]float64, rows)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SquaredL2ToMany(out, q, flat, dim)
 	}
 }

@@ -5,7 +5,25 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/store"
 )
+
+// QuantKind selects the scalar-quantization codec used for candidate
+// screening (Config.Quantize). See the Config field for semantics.
+type QuantKind = store.QuantKind
+
+// The quantization codecs: none (the default — no screening), f32
+// (per-dimension float32 codes, 2× smaller than the raw rows), and i8
+// (per-dimension affine int8 codes, 8× smaller).
+const (
+	QuantNone = store.QuantNone
+	QuantF32  = store.QuantF32
+	QuantI8   = store.QuantI8
+)
+
+// ParseQuantKind maps the spellings "none" (or ""), "f32" and "i8" to
+// their QuantKind, for wiring command-line flags.
+func ParseQuantKind(s string) (QuantKind, error) { return store.ParseQuantKind(s) }
 
 // Neighbor is one query result: a point id (the row index passed to
 // Build, unless custom ids were provided) and its exact Euclidean
@@ -67,6 +85,13 @@ type Config struct {
 	// which a Delete triggers an automatic Compact (0 = 0.3; negative
 	// disables auto-compaction; values above 1 are rejected).
 	AutoCompactFraction float64
+	// Quantize attaches a scalar-quantized copy of the dataset (QuantF32
+	// or QuantI8) and screens verification candidates with a provable
+	// lower bound on their exact distance before touching the
+	// full-precision rows. Screening is reject-only: every query answers
+	// element-wise identically to an unquantized index — only memory
+	// traffic changes. QuantNone (the zero value) disables it.
+	Quantize QuantKind
 }
 
 // Index is a PM-LSH index over a mutable dataset. Queries go through
@@ -102,6 +127,7 @@ func Build(data [][]float64, cfg Config) (*Index, error) {
 		Seed:                cfg.Seed,
 		UseRTree:            cfg.UseRTree,
 		AutoCompactFraction: cfg.AutoCompactFraction,
+		Quantize:            cfg.Quantize,
 	})
 	if err != nil {
 		return nil, err
@@ -121,6 +147,18 @@ func (x *Index) Insert(p []float64) (int32, error) { return x.ix.Insert(p) }
 // returning. Deleting an unknown or already-deleted id is an error.
 // Delete may run concurrently with queries and other mutations.
 func (x *Index) Delete(id int32) error { return x.ix.Delete(id) }
+
+// SetQuantize installs (QuantF32 or QuantI8), refits, or drops
+// (QuantNone) the quantized screening codec over the current dataset —
+// the runtime form of Config.Quantize, usable on a loaded or
+// already-built index. Refitting (calling it again with the same kind)
+// recovers screen selectivity after inserts far outside the fitted
+// range have widened the per-dimension error slack. Queries before and
+// after answer identically; only the screening work changes.
+func (x *Index) SetQuantize(kind QuantKind) error { return x.ix.SetQuantize(kind) }
+
+// Quantize reports the screening codec the index currently maintains.
+func (x *Index) Quantize() QuantKind { return x.ix.Quantize() }
 
 // Compact rebuilds the index over its live points: the vector store is
 // repacked (dropping tombstones), the projected-space tree is bulk

@@ -75,19 +75,23 @@ func TestRecallAndRatioRegression(t *testing.T) {
 		k: 10, c: 1.5, minRecall: 0.8,
 	})
 
+	// Quantized screening is reject-only, so every quality gate must
+	// hold verbatim with a codec installed — run each case under all
+	// three codec kinds against shared ground truth.
+	quants := []struct {
+		name string
+		kind QuantKind
+	}{{"none", QuantNone}, {"f32", QuantF32}, {"i8", QuantI8}}
+
 	for _, tcase := range cases {
 		t.Run(tcase.name, func(t *testing.T) {
-			ix, err := Build(tcase.data, Config{Seed: 3})
-			if err != nil {
-				t.Fatal(err)
-			}
 			// Exact ground truth: a full-fraction linear scan.
 			sc, err := lscan.New(tcase.data, lscan.Config{Fraction: 1.0, Seed: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
-			var recallSum, ratioSum float64
-			for _, q := range tcase.queries {
+			truths := make([][]metrics.Neighbor, len(tcase.queries))
+			for qi, q := range tcase.queries {
 				truthRaw, err := sc.KNN(q, tcase.k)
 				if err != nil {
 					t.Fatal(err)
@@ -96,37 +100,50 @@ func TestRecallAndRatioRegression(t *testing.T) {
 				for i, n := range truthRaw {
 					truth[i] = metrics.Neighbor{ID: n.ID, Dist: n.Dist}
 				}
-				resRaw, err := ix.KNN(q, tcase.k, tcase.c)
-				if err != nil {
-					t.Fatal(err)
-				}
-				res := make([]metrics.Neighbor, len(resRaw))
-				for i, n := range resRaw {
-					res[i] = metrics.Neighbor{ID: n.ID, Dist: n.Dist}
-				}
-				recall, err := metrics.Recall(res, truth)
-				if err != nil {
-					t.Fatal(err)
-				}
-				ratio, err := metrics.OverallRatio(res, truth)
-				if err != nil {
-					t.Fatal(err)
-				}
-				// The per-query ratio must respect the c guarantee.
-				if ratio > tcase.c+1e-9 {
-					t.Errorf("per-query overall ratio %v exceeds c=%v", ratio, tcase.c)
-				}
-				recallSum += recall
-				ratioSum += ratio
+				truths[qi] = truth
 			}
-			n := float64(len(tcase.queries))
-			meanRecall, meanRatio := recallSum/n, ratioSum/n
-			t.Logf("recall=%.3f ratio=%.4f over %d queries", meanRecall, meanRatio, len(tcase.queries))
-			if meanRecall < tcase.minRecall {
-				t.Errorf("mean recall %.3f below %.2f", meanRecall, tcase.minRecall)
-			}
-			if meanRatio > tcase.c {
-				t.Errorf("mean overall ratio %.4f exceeds c=%v", meanRatio, tcase.c)
+			for _, qt := range quants {
+				t.Run("quantize="+qt.name, func(t *testing.T) {
+					ix, err := Build(tcase.data, Config{Seed: 3, Quantize: qt.kind})
+					if err != nil {
+						t.Fatal(err)
+					}
+					var recallSum, ratioSum float64
+					for qi, q := range tcase.queries {
+						truth := truths[qi]
+						resRaw, err := ix.KNN(q, tcase.k, tcase.c)
+						if err != nil {
+							t.Fatal(err)
+						}
+						res := make([]metrics.Neighbor, len(resRaw))
+						for i, n := range resRaw {
+							res[i] = metrics.Neighbor{ID: n.ID, Dist: n.Dist}
+						}
+						recall, err := metrics.Recall(res, truth)
+						if err != nil {
+							t.Fatal(err)
+						}
+						ratio, err := metrics.OverallRatio(res, truth)
+						if err != nil {
+							t.Fatal(err)
+						}
+						// The per-query ratio must respect the c guarantee.
+						if ratio > tcase.c+1e-9 {
+							t.Errorf("per-query overall ratio %v exceeds c=%v", ratio, tcase.c)
+						}
+						recallSum += recall
+						ratioSum += ratio
+					}
+					n := float64(len(tcase.queries))
+					meanRecall, meanRatio := recallSum/n, ratioSum/n
+					t.Logf("recall=%.3f ratio=%.4f over %d queries", meanRecall, meanRatio, len(tcase.queries))
+					if meanRecall < tcase.minRecall {
+						t.Errorf("mean recall %.3f below %.2f", meanRecall, tcase.minRecall)
+					}
+					if meanRatio > tcase.c {
+						t.Errorf("mean overall ratio %.4f exceeds c=%v", meanRatio, tcase.c)
+					}
+				})
 			}
 		})
 	}

@@ -2,20 +2,21 @@
 # bench_trajectory.sh — run the headline engine benchmarks and write
 # BENCH_<pr>.json so the perf trajectory accumulates machine-readable
 # data points (ns/op, B/op, allocs/op, pdc/op for the serial, batch,
-# churned and filtered QueryK50 paths).
+# churned and filtered QueryK50 paths, plus scr/op screen-reject counts
+# for the quantized variants and the d=768 high-dim workload).
 #
 # Usage: scripts/bench_trajectory.sh [output.json]
-#   PR        tag for the stacked-PR sequence number   (default: 5)
+#   PR        tag for the stacked-PR sequence number   (default: 6)
 #   BENCHTIME go test -benchtime value                 (default: 1s)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pr="${PR:-5}"
+pr="${PR:-6}"
 out="${1:-BENCH_${pr}.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(go test -run '^$' \
-  -bench '^(BenchmarkQueryK50|BenchmarkKNNSerial|BenchmarkKNNBatch|BenchmarkQueryK50Churned|BenchmarkQueryK50Filtered)$' \
+  -bench '^(BenchmarkQueryK50|BenchmarkKNNSerial|BenchmarkKNNBatch|BenchmarkQueryK50Churned|BenchmarkQueryK50Filtered|BenchmarkQueryK50QuantF32|BenchmarkQueryK50QuantI8|BenchmarkQueryK50HighDim|BenchmarkQueryK50HighDimQuantF32|BenchmarkQueryK50HighDimQuantI8)$' \
   -benchtime "$benchtime" .)"
 echo "$raw"
 echo "$raw" | go run ./cmd/benchjson -pr "$pr" > "$out"
