@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	pmlsh build -data vectors.f64 -index out.pmlsh [-m 15] [-pivots 5] [-quantize none|f32|i8]
+//	pmlsh build -data vectors.f64 -index out.pmlsh [-m 15] [-pivots 5] [-quantize none|f32|i8] [-shards 4]
 //	pmlsh query -index out.pmlsh -k 10 -c 1.5 -point "0.1,0.2,..." [-alpha1 0.2] [-budget 500] [-timeout 1s]
 //	pmlsh cp    -index out.pmlsh -k 10 -c 1.5 [-par] [-timeout 1s]
 //	pmlsh bench -index out.pmlsh -k 10 -c 1.5 -queries 100 [-par] [-quantize none|f32|i8] [-timeout 10s] [-cpuprofile cpu.out] [-memprofile mem.out]
-//	pmlsh churn -data vectors.f64 [-ops 2000] [-delfrac 0.4] [-k 10]
+//	pmlsh bench -data vectors.f64 -shards 4 ...   (build in-process instead of loading)
+//	pmlsh churn -data vectors.f64 [-ops 2000] [-delfrac 0.4] [-k 10] [-shards 4]
 //	pmlsh info  -index out.pmlsh
 //
 // Query subcommands run through the request API (Search, SearchBatch,
@@ -87,6 +88,7 @@ func runBuild(args []string) error {
 	pivots := fs.Int("pivots", 0, "PM-tree pivots (0 = 5)")
 	seed := fs.Int64("seed", 1, "build seed")
 	quantize := fs.String("quantize", "none", "screening codec: none, f32 or i8 (persisted in the index file)")
+	shards := fs.Int("shards", 0, "shard count for snapshot-isolated serving (0 or 1 = single shard; persisted in the index file)")
 	fs.Parse(args)
 	if *dataPath == "" || *indexPath == "" {
 		return fmt.Errorf("build requires -data and -index")
@@ -100,12 +102,12 @@ func runBuild(args []string) error {
 		return err
 	}
 	start := time.Now()
-	ix, err := pmlsh.Build(data, pmlsh.Config{M: *m, NumPivots: *pivots, Seed: *seed, Quantize: qkind})
+	ix, err := pmlsh.Build(data, pmlsh.Config{M: *m, NumPivots: *pivots, Seed: *seed, Quantize: qkind, Shards: *shards})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("built index over %d×%d in %v\n", ix.Len(), ix.Dim(),
-		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("built index over %d×%d (%d shard(s)) in %v\n", ix.Len(), ix.Dim(),
+		ix.Shards(), time.Since(start).Round(time.Millisecond))
 	f, err := os.Create(*indexPath)
 	if err != nil {
 		return err
@@ -211,6 +213,8 @@ func printPairs(pairs []pmlsh.Pair) {
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	indexPath := fs.String("index", "", "index file")
+	dataPath := fs.String("data", "", "raw float64 dump to build an in-process index from (alternative to -index)")
+	shards := fs.Int("shards", 0, "shard count when building from -data (0 or 1 = single shard)")
 	k := fs.Int("k", 10, "neighbors")
 	c := fs.Float64("c", 1.5, "approximation ratio")
 	queries := fs.Int("queries", 100, "number of random data points to query")
@@ -221,10 +225,21 @@ func runBench(args []string) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the query loop to this file (go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file after the query loop")
 	fs.Parse(args)
-	if *indexPath == "" {
-		return fmt.Errorf("bench requires -index")
+	var ix *pmlsh.Index
+	var err error
+	switch {
+	case *indexPath != "" && *dataPath != "":
+		return fmt.Errorf("bench takes -index or -data, not both")
+	case *indexPath != "":
+		ix, err = loadIndex(*indexPath)
+	case *dataPath != "":
+		var data [][]float64
+		if data, err = readDump(*dataPath); err == nil {
+			ix, err = pmlsh.Build(data, pmlsh.Config{Seed: *seed, Shards: *shards})
+		}
+	default:
+		return fmt.Errorf("bench requires -index or -data")
 	}
-	ix, err := loadIndex(*indexPath)
 	if err != nil {
 		return err
 	}
@@ -349,6 +364,7 @@ func runChurn(args []string) error {
 	queries := fs.Int("queries", 20, "checkpoint queries")
 	checkpoints := fs.Int("checkpoints", 4, "number of recall checkpoints")
 	seed := fs.Int64("seed", 1, "workload seed")
+	shards := fs.Int("shards", 0, "shard count (0 or 1 = single shard)")
 	fs.Parse(args)
 	if *dataPath == "" {
 		return fmt.Errorf("churn requires -data")
@@ -363,7 +379,7 @@ func runChurn(args []string) error {
 	if err != nil {
 		return err
 	}
-	ix, err := pmlsh.Build(data, pmlsh.Config{Seed: *seed})
+	ix, err := pmlsh.Build(data, pmlsh.Config{Seed: *seed, Shards: *shards})
 	if err != nil {
 		return err
 	}
@@ -503,6 +519,7 @@ func runInfo(args []string) error {
 	fmt.Printf("live:       %d\n", ix.LiveLen())
 	fmt.Printf("dimensions: %d\n", ix.Dim())
 	fmt.Printf("projected:  %d\n", ix.M())
+	fmt.Printf("shards:     %d\n", ix.Shards())
 	p, err := ix.DeriveParams(1.5)
 	if err != nil {
 		return err

@@ -124,9 +124,10 @@
 // Deletions leave the tree's covering regions looser than a fresh
 // build would make them, so query cost creeps up under heavy churn.
 // Compact — called explicitly, or automatically once the tombstoned
-// share of the store reaches Config.AutoCompactFraction (default
-// 0.3) — rebuilds via the bulk loader over exactly the live set,
-// restoring fresh-build query cost. Serialization (WriteTo/Load)
+// share of the store reaches Config.AutoCompactFraction (default 0.3;
+// negative disables; the AutoCompactAlways sentinel compacts on every
+// tombstone) — rebuilds via the bulk loader over exactly the live
+// set, restoring fresh-build query cost. Serialization (WriteTo/Load)
 // persists the full lifecycle state: tombstones, retired ids and the
 // slot-recycling order; streams from earlier versions still load.
 //
@@ -173,18 +174,41 @@
 // Serialized indexes (WriteTo/Load) carry the codec parameters;
 // codes are re-derived on load, bit-identically.
 //
-// # Queries and concurrency
+// # Queries, shards and snapshot isolation
 //
-// Every method is safe for concurrent use. Queries — Search,
-// SearchBatch, SearchPairs, SearchBall and the legacy shims — share a
-// reader lock and run concurrently with each other; Insert, Delete and
-// Compact take the writer side and serialize against readers and one
-// another. A query therefore observes one consistent index state, and
-// a point whose Delete completed before the query began can never
-// appear in its results. SearchBatch fans a query slice across a
-// worker pool of up to GOMAXPROCS goroutines and returns per-query
-// results in input order — the throughput-oriented entry point for
-// serving many concurrent readers:
+// Every method is safe for concurrent use, and reads are snapshot
+// isolated: queries — Search, SearchBatch, SearchPairs, SearchBall and
+// the legacy shims — pin an atomically published snapshot of each
+// shard and answer from it, so they never wait on a mutation, never
+// wait on each other, and never observe a mutation half-applied. A
+// point whose Delete completed before the query began can never appear
+// in its results. Insert, Delete and Compact apply to a standby
+// replica and swap it in with one atomic store; mutations to the same
+// shard serialize, mutations to different shards run concurrently.
+// The practical consequence is read tail latency: with the former
+// reader/writer lock a query arriving during a Compact waited the
+// whole rebuild out, while here it reads the outgoing snapshot and
+// p99 stays at ordinary query time (see BenchmarkMixedReadP99 — more
+// than an order of magnitude on the reference workload).
+//
+// Config.Shards picks the partition count. The default (0 or 1) keeps
+// one shard and answers element-wise identically to earlier versions.
+// N > 1 stripes ids across N independent partitions (global id g lives
+// on shard g mod N), spreads mutation load, and fans each query out
+// over all shards, merging per-shard answers; quality gates (recall,
+// ratio) hold because every shard runs the full PM-LSH machinery over
+// its slice with its own β·n/N budget. The cost is memory: each shard
+// keeps two full replicas of its slice, so the index holds 2× the
+// dataset regardless of N. Use Shards > 1 when mutation throughput or
+// per-shard compaction pauses matter; a read-only or read-mostly index
+// gains nothing from N > 1 (reads already never block), so leave the
+// default.
+//
+// SearchBatch fans a query slice across a worker pool of up to
+// GOMAXPROCS goroutines and returns per-query results in input order —
+// the throughput-oriented entry point for serving many concurrent
+// readers; on any non-nil error its result slice is nil, never a
+// partially filled batch:
 //
 //	results, err := index.SearchBatch(ctx, queries, 10)
 //
@@ -192,7 +216,8 @@
 // exact for the query they describe, ProjectedDistComps included: each
 // query's range enumerator counts its own projected-space metric
 // evaluations, so overlapping queries never pollute one another's
-// counters.
+// counters. With Shards > 1 the counters are summed across the shards
+// a query touched (FinalRadius reports the largest per-shard radius).
 //
 // # Repository layout
 //

@@ -42,6 +42,15 @@ const (
 	// DefaultAutoCompactFraction is the tombstone share at which Delete
 	// triggers an automatic Compact.
 	DefaultAutoCompactFraction = 0.3
+
+	// AutoCompactAlways is a sentinel for Config.AutoCompactFraction
+	// meaning "compact on any tombstone": every Delete that leaves at
+	// least one dead row triggers a Compact. A literal 0 cannot express
+	// this — the zero value must keep meaning "unset, use the default"
+	// — so the sentinel is the smallest positive float64: a threshold
+	// every nonzero dead fraction reaches, which round-trips through
+	// serialization unchanged.
+	AutoCompactAlways = math.SmallestNonzeroFloat64
 )
 
 // Config controls index construction.
@@ -80,7 +89,8 @@ type Config struct {
 	// AutoCompactFraction is the tombstone share of the vector store at
 	// which Delete triggers an automatic Compact. 0 means
 	// DefaultAutoCompactFraction; negative disables auto-compaction;
-	// values above 1 are rejected (the fraction can never exceed 1).
+	// AutoCompactAlways compacts on any tombstone; values above 1 are
+	// rejected (the fraction can never exceed 1).
 	AutoCompactFraction float64
 	// Quantize attaches a scalar-quantized sidecar codec to the vector
 	// store (store.QuantF32 or store.QuantI8) and screens verification
@@ -90,6 +100,11 @@ type Config struct {
 	// index; only the amount of full-precision memory traffic changes.
 	// The zero value (store.QuantNone) disables screening.
 	Quantize store.QuantKind
+	// Shards is the shard count of the serving engine built by
+	// BuildEngine (0 and 1 both mean a single shard; Build and
+	// BuildFromStore ignore the field — a bare Index is always one
+	// shard). See Engine for the sharded concurrency model.
+	Shards int
 }
 
 func (cfg *Config) fillDefaults() {
@@ -292,11 +307,26 @@ func (ix *Index) getScratch() *queryScratch {
 
 // putScratch releases the enumerators' tree/query references (so a
 // pooled scratch never pins a tree a Compact has replaced) and returns
-// the scratch to the pool with its buffer capacity intact.
+// the scratch to the pool. Buffer capacity is kept — except when it
+// has outgrown the index: emit/tmp reach the candidate volume of the
+// largest query ever run through this scratch and the pool never
+// frees, so after one large-n burst every pooled scratch would pin its
+// high-water memory for the life of the process. A query emits each
+// live point at most once, so any capacity beyond the current live
+// count (doubled, plus slack so small indexes keep warm buffers) can
+// never be needed again until the index regrows — shed it.
 func (ix *Index) putScratch(s *queryScratch) {
 	s.pmEnum.Release()
 	s.rtEnum.Release()
-	s.emit = s.emit[:0]
+	bound := 2*ix.data.Live() + 1024
+	if cap(s.emit) > bound {
+		s.emit = nil
+	} else {
+		s.emit = s.emit[:0]
+	}
+	if cap(s.tmp) > bound {
+		s.tmp = nil
+	}
 	ix.scratch.Put(s)
 }
 

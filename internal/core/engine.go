@@ -1,0 +1,383 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Engine is the sharded serving form of the index: N independent
+// Index shards, ids striped across them, with snapshot-isolated reads.
+// Queries never take a writer-blocking lock — they pin an atomically
+// published per-shard snapshot, fan out, and merge — so a running
+// Insert, Delete or Compact on one shard never stalls readers, and
+// readers never stall each other.
+//
+// # Concurrency model
+//
+// Each shard is a left/right pair of complete Index replicas. An
+// atomic pointer publishes the active half; readers pin it with a
+// reference count (one atomic add in, one out — no lock). A mutation
+// takes the shard's writer mutex, applies itself to the standby half
+// (invisible to readers), publishes that half with one atomic store,
+// waits for the old half's readers to drain, and applies the same
+// mutation again so the halves converge. Every Index mutation is
+// deterministic (seeded sampling, LIFO slot recycling), so the two
+// halves evolve through identical states — which is also what makes a
+// crashed-between-applies state impossible to observe: the flip is the
+// single commit point.
+//
+// What blocks what: readers never block anyone and are never blocked.
+// Writers to different shards run concurrently. Writers to one shard
+// serialize on its mutex, and a writer waits (bounded by the longest
+// in-flight read of that shard) for draining readers. The memory cost
+// is one full replica per shard — the engine holds 2× the dataset.
+//
+// # Ids
+//
+// Global ids stripe across shards: global id g lives on shard g mod N
+// as local id g div N. BuildEngine routes row i to shard i mod N and
+// Insert routes round-robin, so with N = 1 — the default — global and
+// local ids coincide and the engine is element-wise identical
+// (answers, statistics, serialized bytes) to a bare Index. Ids are
+// never reused or remapped, exactly like the Index contract. With
+// N > 1, sequential inserts still receive consecutive ids; concurrent
+// inserts receive unique ids that are monotone per shard but may
+// interleave globally out of call order.
+type Engine struct {
+	shards []*shard
+	dim    int
+
+	// rr routes Insert round-robin: the next global id is (total ever
+	// assigned), and its shard is that value mod N. Concurrent inserts
+	// claim slots with one atomic add.
+	rr atomic.Int64
+}
+
+// MaxShards bounds Config.Shards — past a few hundred shards the
+// per-shard candidate budgets (βn/N + k each) dominate the merged
+// result and the quality/work tradeoff degrades.
+const MaxShards = 256
+
+// half is one replica of a shard: an Index plus the count of readers
+// currently pinned to it.
+type half struct {
+	ix      *Index
+	readers atomic.Int64
+}
+
+// shard is a left/right pair of halves. active publishes the readable
+// one; mu serializes writers.
+type shard struct {
+	mu     sync.Mutex
+	active atomic.Pointer[half]
+	halves [2]*half
+}
+
+// pin returns the shard's active half with its reader count raised.
+// The recheck handles the race with a concurrent flip: a reader that
+// incremented the count of a half that was unpublished in between
+// backs off and retries (the writer only waits on the half it just
+// unpublished, and flips happen after the standby mutation, so a
+// half's pointer identity never refers to two different states).
+func (s *shard) pin() *half {
+	for {
+		h := s.active.Load()
+		h.readers.Add(1)
+		if s.active.Load() == h {
+			return h
+		}
+		h.readers.Add(-1)
+	}
+}
+
+// unpin releases a pinned half.
+func (h *half) unpin() { h.readers.Add(-1) }
+
+// waitDrain spins until no reader holds the half. Writers call it on
+// the standby half (stragglers from the pin recheck only, gone within
+// nanoseconds) and on the just-unpublished half (bounded by the
+// longest in-flight read — new readers can no longer arrive, so the
+// count strictly decreases).
+func waitDrain(h *half) {
+	for spins := 0; h.readers.Load() != 0; spins++ {
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+}
+
+// write applies one deterministic mutation to both halves of the
+// shard: standby first (readers still see the old half), then flip,
+// then the drained old half. An error from the first application
+// leaves both halves untouched and unflipped (Index mutations validate
+// before mutating); an error from the second cannot happen without the
+// halves diverging, which is unrecoverable by construction.
+func (s *shard) write(op func(*Index) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	act := s.active.Load()
+	stb := s.halves[0]
+	if stb == act {
+		stb = s.halves[1]
+	}
+	waitDrain(stb)
+	if err := op(stb.ix); err != nil {
+		return err
+	}
+	s.active.Store(stb)
+	waitDrain(act)
+	if err := op(act.ix); err != nil {
+		panic("core: shard halves diverged: " + err.Error())
+	}
+	return nil
+}
+
+// newShard wraps an Index into a shard, cloning it for the second
+// half.
+func newShard(ix *Index) (*shard, error) {
+	clone, err := cloneIndex(ix)
+	if err != nil {
+		return nil, err
+	}
+	s := &shard{}
+	s.halves[0] = &half{ix: ix}
+	s.halves[1] = &half{ix: clone}
+	s.active.Store(s.halves[0])
+	return s, nil
+}
+
+// cloneIndex replicates an index through a serialization round trip —
+// the one mechanism already proven (by the serialization suite) to
+// reproduce the full state an Index's deterministic evolution depends
+// on: store bytes, free list, id map, tree structure, distance sample.
+func cloneIndex(ix *Index) (*Index, error) {
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		return nil, fmt.Errorf("core: cloning shard: %w", err)
+	}
+	clone, err := Load(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("core: cloning shard: %w", err)
+	}
+	return clone, nil
+}
+
+// BuildEngine constructs a sharded engine over data: row i becomes
+// global id i on shard i mod N. cfg.Shards selects the shard count (0
+// and 1 both build a single shard, which answers element-wise
+// identically to Build). Every shard needs at least one row. All
+// shards share cfg.Seed, so they project into the same m-dimensional
+// space — required for cross-shard closest-pair enumeration.
+func BuildEngine(data [][]float64, cfg Config) (*Engine, error) {
+	n := cfg.Shards
+	if n == 0 {
+		n = 1
+	}
+	if n < 0 || n > MaxShards {
+		return nil, fmt.Errorf("core: Shards must be in [0, %d], got %d", MaxShards, cfg.Shards)
+	}
+	if len(data) < n {
+		return nil, fmt.Errorf("core: %d shards need at least %d points, got %d", n, n, len(data))
+	}
+	cfg.Shards = 0 // the inner per-shard indexes are always 1-shard
+	inners := make([]*Index, n)
+	if n == 1 {
+		ix, err := Build(data, cfg)
+		if err != nil {
+			return nil, err
+		}
+		inners[0] = ix
+	} else {
+		for s := 0; s < n; s++ {
+			rows := make([][]float64, 0, (len(data)+n-1-s)/n)
+			for i := s; i < len(data); i += n {
+				rows = append(rows, data[i])
+			}
+			ix, err := Build(rows, cfg)
+			if err != nil {
+				return nil, err
+			}
+			inners[s] = ix
+		}
+	}
+	return newEngine(inners)
+}
+
+// newEngine assembles an engine from per-shard indexes (local row i of
+// shard s is global id i·N + s).
+func newEngine(inners []*Index) (*Engine, error) {
+	e := &Engine{shards: make([]*shard, len(inners)), dim: inners[0].Dim()}
+	total := 0
+	for s, ix := range inners {
+		if ix.Dim() != e.dim {
+			return nil, fmt.Errorf("core: shard %d has dimension %d, shard 0 has %d", s, ix.Dim(), e.dim)
+		}
+		sh, err := newShard(ix)
+		if err != nil {
+			return nil, err
+		}
+		e.shards[s] = sh
+		total += ix.Len()
+	}
+	e.rr.Store(int64(total))
+	return e, nil
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// shardOf splits a non-negative global id into its shard and local id.
+func (e *Engine) shardOf(gid int32) (int, int32) {
+	n := int32(len(e.shards))
+	return int(gid % n), gid / n
+}
+
+// Insert adds one point and returns its global id. The point's shard
+// is chosen round-robin; only that shard's writer mutex is taken, so
+// inserts to different shards run concurrently and queries are never
+// blocked.
+func (e *Engine) Insert(p []float64) (int32, error) {
+	if len(p) != e.dim {
+		return 0, fmt.Errorf("core: point has dimension %d, index expects %d", len(p), e.dim)
+	}
+	n := len(e.shards)
+	s := int((e.rr.Add(1) - 1) % int64(n))
+	var gid int32
+	err := e.shards[s].write(func(ix *Index) error {
+		local, err := ix.Insert(p)
+		if err != nil {
+			return err
+		}
+		gid = local*int32(n) + int32(s)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return gid, nil
+}
+
+// Delete removes the point with the given global id (same contract as
+// Index.Delete, auto-compaction included — a shard whose tombstone
+// share crosses Config.AutoCompactFraction compacts itself without
+// blocking readers).
+func (e *Engine) Delete(gid int32) error {
+	if gid < 0 {
+		return fmt.Errorf("core: Delete of unknown id %d (ids assigned so far: %d)", gid, e.Len())
+	}
+	s, local := e.shardOf(gid)
+	err := e.shards[s].write(func(ix *Index) error { return ix.Delete(local) })
+	if err != nil && len(e.shards) > 1 {
+		// The inner error names the shard-local id; restate it globally.
+		return fmt.Errorf("core: Delete of id %d (shard %d): %w", gid, s, err)
+	}
+	return err
+}
+
+// Compact rebuilds every shard over its live points, one shard at a
+// time. Readers keep answering from each shard's published snapshot
+// throughout — the rebuilt replica is swapped in with one atomic
+// store, never blocking a query.
+func (e *Engine) Compact() error {
+	for s, sh := range e.shards {
+		if err := sh.write(func(ix *Index) error { return ix.Compact() }); err != nil {
+			return fmt.Errorf("core: compacting shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// SetQuantize installs, refits, or drops the screening codec on every
+// shard (see Index.SetQuantize).
+func (e *Engine) SetQuantize(kind store.QuantKind) error {
+	for s, sh := range e.shards {
+		if err := sh.write(func(ix *Index) error { return ix.SetQuantize(kind) }); err != nil {
+			return fmt.Errorf("core: shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// Quantize reports the screening codec the engine currently maintains.
+func (e *Engine) Quantize() store.QuantKind {
+	h := e.shards[0].pin()
+	defer h.unpin()
+	return h.ix.Quantize()
+}
+
+// Len returns the size of the global id space: the number of ids ever
+// assigned across all shards.
+func (e *Engine) Len() int {
+	total := 0
+	for _, sh := range e.shards {
+		h := sh.pin()
+		total += h.ix.Len()
+		h.unpin()
+	}
+	return total
+}
+
+// LiveLen returns the number of live points across all shards.
+func (e *Engine) LiveLen() int {
+	total := 0
+	for _, sh := range e.shards {
+		h := sh.pin()
+		total += h.ix.LiveLen()
+		h.unpin()
+	}
+	return total
+}
+
+// IsLive reports whether the global id refers to a live point.
+func (e *Engine) IsLive(gid int32) bool {
+	if gid < 0 {
+		return false
+	}
+	s, local := e.shardOf(gid)
+	h := e.shards[s].pin()
+	defer h.unpin()
+	return h.ix.IsLive(local)
+}
+
+// Dim returns the original dimensionality.
+func (e *Engine) Dim() int { return e.dim }
+
+// M returns the projected dimensionality. Immutable after build and
+// identical across shards.
+func (e *Engine) M() int { return e.shards[0].halves[0].ix.M() }
+
+// DeriveParams exposes the confidence-interval constants for a given
+// approximation ratio. The derivation depends only on build-time
+// configuration (m, α1, the κ calibration), which every shard shares.
+func (e *Engine) DeriveParams(c float64) (Params, error) {
+	h := e.shards[0].pin()
+	defer h.unpin()
+	return h.ix.DeriveParams(c)
+}
+
+// pinAll pins every shard's active half. The per-shard snapshots are
+// each internally consistent (a mutation is visible in full or not at
+// all); a query overlapping mutations to several shards may see some
+// shards before and some after — the same per-operation linearization
+// the single RWMutex engine provided for operations on disjoint ids.
+func (e *Engine) pinAll() []*half {
+	pins := make([]*half, len(e.shards))
+	for s, sh := range e.shards {
+		pins[s] = sh.pin()
+	}
+	return pins
+}
+
+func unpinAll(pins []*half) {
+	for _, h := range pins {
+		h.unpin()
+	}
+}

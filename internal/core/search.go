@@ -268,10 +268,13 @@ func (ix *Index) searchLocked(ctx context.Context, q []float64, k int, o SearchO
 //
 // Cancellation is checked between work items and between each query's
 // expansion rounds: on cancellation workers stop claiming queries and
-// SearchBatch returns ctx.Err() with the partially filled result
-// slice. Otherwise the first query error, if any, is returned after
-// all workers finish. o.BatchStats, when non-nil, receives exact
-// per-query statistics (entry i for qs[i]); o.Stats is ignored.
+// SearchBatch returns ctx.Err(). Otherwise the first query error, if
+// any, is returned after all workers finish. On any non-nil error the
+// result slice is nil — never a partially filled batch, so a caller
+// can't mistake an aborted batch for answered queries. o.BatchStats,
+// when non-nil, receives exact per-query statistics (entry i for
+// qs[i]); o.Stats is ignored (entries for unclaimed queries on an
+// aborted batch are left zero).
 func (ix *Index) SearchBatch(ctx context.Context, qs [][]float64, k int, o SearchOptions) ([][]Result, error) {
 	if len(qs) == 0 {
 		return nil, nil
@@ -312,11 +315,11 @@ func (ix *Index) SearchBatch(ctx context.Context, qs [][]float64, k int, o Searc
 	}
 	wg.Wait()
 	if err := ctxErr(ctx); err != nil {
-		return out, err
+		return nil, err
 	}
 	for i, err := range errs {
 		if err != nil {
-			return out, fmt.Errorf("core: batch query %d: %w", i, err)
+			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
 		}
 	}
 	return out, nil

@@ -45,6 +45,7 @@ import (
 // sorted entry layouts (see leafJoin) instead of an O(capacity²) scan.
 type PairEnumerator struct {
 	t      *Tree
+	t2     *Tree // nil for a self-join; the second tree of a bipartite join
 	pq     heapq.Heap[pairItem]
 	nodes  []nodePairArena // side arena for queued node pairs
 	cutoff float64
@@ -56,8 +57,11 @@ type PairEnumerator struct {
 	// participates in many leaf pairs over one enumeration, so the sort
 	// is paid once per leaf, not once per pair — and the lookup must be
 	// an array index, not a map probe, at tens of thousands of pair
-	// expansions.
-	joins []*leafJoin
+	// expansions. joins2 is the same cache for t2's leaves (bipartite
+	// joins only; rows of the two trees live in separate stores, so the
+	// keys cannot share one array).
+	joins  []*leafJoin
+	joins2 []*leafJoin
 
 	// stack holds node pairs whose lower bound is zero. They sort
 	// before every other item, so expanding them LIFO off a plain stack
@@ -90,9 +94,11 @@ type leafJoin struct {
 	id  []int32
 }
 
-// PairCandidate is one pair produced by the enumerator: the ids of two
-// distinct indexed points (ID1 <= ID2) and their exact distance in the
-// tree's space.
+// PairCandidate is one pair produced by the enumerator and its exact
+// distance in the tree's space. For a self-join the ids are two
+// distinct indexed points with ID1 <= ID2; for a bipartite join ID1 is
+// always an id of the receiver tree and ID2 an id of the other tree
+// (the two id spaces are independent, so no ordering is imposed).
 type PairCandidate struct {
 	ID1, ID2 int32
 	Dist     float64
@@ -108,12 +114,17 @@ const (
 
 // pairRegion is one side of a node pair: a subtree plus the routing
 // geometry that bounds it. The root has no routing entry; center == nil
-// marks "unbounded" (lower bound 0 against anything).
+// marks "unbounded" (lower bound 0 against anything). side says which
+// tree the subtree belongs to (0 = e.t, 1 = e.t2) — always 0 for a
+// self-join; in a bipartite join every node pair has one region per
+// side, because expansion descends one side at a time starting from
+// (root of t, root of t2).
 type pairRegion struct {
 	n      *node
 	center []float64
 	radius float64
 	hr     []Interval
+	side   uint8
 }
 
 type nodePairArena struct{ a, b pairRegion }
@@ -179,6 +190,34 @@ func (t *Tree) NewPairEnumerator() *PairEnumerator {
 	return e
 }
 
+// NewBipartitePairEnumerator starts a cross-tree pair enumeration: it
+// yields every pair (x, y) with x indexed by the receiver and y by
+// other, in nondecreasing order of their exact distance, each exactly
+// once. Both trees must index points of the same dimension (they may
+// use different pivots — the hyper-ring sharpening and the per-pivot
+// leaf prefilter only apply within one pivot set, so cross-tree bounds
+// fall back to the routing-ball bound alone). The candidate's ID1 is
+// the receiver's id and ID2 the other tree's id; the two id spaces are
+// independent. Statistics (DistComps, the tree-wide counters) accrue to
+// the receiver. Either tree being empty enumerates nothing.
+func (t *Tree) NewBipartitePairEnumerator(other *Tree) *PairEnumerator {
+	e := &PairEnumerator{t: t, t2: other, cutoff: math.Inf(1)}
+	if t.count >= 1 && other.count >= 1 {
+		ra := pairRegion{n: t.root, radius: math.Inf(1), side: 0}
+		rb := pairRegion{n: other.root, radius: math.Inf(1), side: 1}
+		e.expand(ra, rb)
+	}
+	return e
+}
+
+// treeOf maps a region side to its tree.
+func (e *PairEnumerator) treeOf(side uint8) *Tree {
+	if side == 0 {
+		return e.t
+	}
+	return e.t2
+}
+
 // SetCutoff caps the enumeration: pairs with distance above cutoff are
 // never returned, which lets the traversal prune subtree pairs whose
 // lower bound already exceeds it. The cutoff can only shrink; calls
@@ -236,39 +275,46 @@ func (e *PairEnumerator) Next() (PairCandidate, bool) {
 func (e *PairEnumerator) expand(a, b pairRegion) {
 	e.pendingNodes++
 	if a.n.leaf && b.n.leaf {
-		e.expandLeafPair(a.n, b.n)
+		e.expandLeafPair(a, b)
 		return
 	}
 	if a.n == b.n {
 		rt := a.n.routing
 		for i := range rt {
-			ri := regionOf(&rt[i])
+			ri := regionOf(&rt[i], a.side)
 			e.pushNodes(ri, ri)
 			for j := i + 1; j < len(rt); j++ {
-				e.pushNodes(ri, regionOf(&rt[j]))
+				e.pushNodes(ri, regionOf(&rt[j], a.side))
 			}
 		}
 		return
 	}
 	// Distinct nodes: descend the inner one with the larger radius (a
 	// leaf or smaller subtree stays whole so its bound keeps pruning).
+	// The choice is a pure function of the two regions, so each node
+	// pair is generated from exactly one ancestor pair — in the
+	// bipartite case too, where the sides travel with the regions.
 	if a.n.leaf || (!b.n.leaf && b.radius > a.radius) {
 		a, b = b, a
 	}
 	for i := range a.n.routing {
-		e.pushNodes(regionOf(&a.n.routing[i]), b)
+		e.pushNodes(regionOf(&a.n.routing[i], a.side), b)
 	}
 }
 
 // leafJoin returns (building and caching on first use) the leaf's
 // sweep-ready layout.
-func (e *PairEnumerator) leafJoin(n *node) *leafJoin {
-	t := e.t
-	if e.joins == nil {
-		e.joins = make([]*leafJoin, t.points.Len())
+func (e *PairEnumerator) leafJoin(n *node, side uint8) *leafJoin {
+	t := e.treeOf(side)
+	cache := &e.joins
+	if side == 1 {
+		cache = &e.joins2
+	}
+	if *cache == nil {
+		*cache = make([]*leafJoin, t.points.Len())
 	}
 	key := n.entries[0].row
-	if lj := e.joins[key]; lj != nil {
+	if lj := (*cache)[key]; lj != nil {
 		return lj
 	}
 	s := len(t.pivots)
@@ -293,30 +339,35 @@ func (e *PairEnumerator) leafJoin(n *node) *leafJoin {
 		lj.row[i] = en.row
 		lj.id[i] = en.id
 	}
-	e.joins[key] = lj
+	(*cache)[key] = lj
 	return lj
 }
 
-// expandLeafPair emits the qualifying entry pairs of two leaves (na may
-// equal nb: the self-join case enumerates each unordered pair once) by
-// a plane sweep over the first coordinate: with both leaves sorted by
-// it, only pairs whose coordinate gap — a distance lower bound free of
-// the radial concentration pivot distances suffer — is within the
-// cutoff are touched at all. Survivors then reject on the per-pivot
-// bounds and finally the exact squared distance.
-func (e *PairEnumerator) expandLeafPair(na, nb *node) {
+// expandLeafPair emits the qualifying entry pairs of two leaves (the
+// nodes may be equal: the self-join case enumerates each unordered pair
+// once) by a plane sweep over the first coordinate: with both leaves
+// sorted by it, only pairs whose coordinate gap — a distance lower
+// bound free of the radial concentration pivot distances suffer — is
+// within the cutoff are touched at all. Survivors then reject on the
+// per-pivot bounds (same-tree pairs only: the two trees of a bipartite
+// join have independent pivot sets) and finally the exact squared
+// distance.
+func (e *PairEnumerator) expandLeafPair(ra, rb pairRegion) {
+	na, nb := ra.n, rb.n
 	// Deletions can leave leaves empty; they contribute no pairs (and
 	// leafJoin keys off the first entry, so they must not reach it).
 	if len(na.entries) == 0 || len(nb.entries) == 0 {
 		return
 	}
-	a := e.leafJoin(na)
+	a := e.leafJoin(na, ra.side)
 	b := a
 	if na != nb {
-		b = e.leafJoin(nb)
+		b = e.leafJoin(nb, rb.side)
 	}
-	t := e.t
-	s := len(t.pivots)
+	ta := e.treeOf(ra.side)
+	tb := e.treeOf(rb.side)
+	cross := ra.side != rb.side
+	s := len(ta.pivots)
 	cutoff := e.cutoff
 	// Squared-space rejection with a rounding margin; survivors get the
 	// exact linear check below, so boundary pairs (distance == cutoff)
@@ -336,17 +387,19 @@ func (e *PairEnumerator) expandLeafPair(na, nb *node) {
 			jstart = lo
 		}
 		pa := a.piv[i*s : (i+1)*s]
-		pt := t.points.Row(int(a.row[i]))
+		pt := ta.points.Row(int(a.row[i]))
 	probe:
 		for j := jstart; j < len(b.c0) && b.c0[j]-c0 <= cutoff; j++ {
-			off := j * s
-			for p := 0; p < s; p++ {
-				if d := pa[p] - b.piv[off+p]; d > cutoff || -d > cutoff {
-					continue probe
+			if !cross {
+				off := j * s
+				for p := 0; p < s; p++ {
+					if d := pa[p] - b.piv[off+p]; d > cutoff || -d > cutoff {
+						continue probe
+					}
 				}
 			}
 			exact++
-			d2 := vec.SquaredL2(pt, t.points.Row(int(b.row[j])))
+			d2 := vec.SquaredL2(pt, tb.points.Row(int(b.row[j])))
 			if d2 > cutoff2 {
 				continue
 			}
@@ -355,7 +408,13 @@ func (e *PairEnumerator) expandLeafPair(na, nb *node) {
 				continue
 			}
 			id1, id2 := a.id[i], b.id[j]
-			if id2 < id1 {
+			if cross {
+				// Bipartite: ID1 is always e.t's id, ID2 always e.t2's
+				// (the regions may have been swapped by expand).
+				if ra.side == 1 {
+					id1, id2 = id2, id1
+				}
+			} else if id2 < id1 {
 				id1, id2 = id2, id1
 			}
 			e.pq.Push(pairItem{bound: d, kind: kindExactPair, id1: id1, id2: id2})
@@ -365,8 +424,8 @@ func (e *PairEnumerator) expandLeafPair(na, nb *node) {
 	e.qdist += exact
 }
 
-func regionOf(r *routingEntry) pairRegion {
-	return pairRegion{n: r.child, center: r.center, radius: r.radius, hr: r.hr}
+func regionOf(r *routingEntry, side uint8) pairRegion {
+	return pairRegion{n: r.child, center: r.center, radius: r.radius, hr: r.hr, side: side}
 }
 
 func (e *PairEnumerator) pushNodes(a, b pairRegion) {
@@ -387,7 +446,8 @@ func (e *PairEnumerator) pushNodes(a, b pairRegion) {
 // any point below b: the routing-ball bound sharpened by the per-pivot
 // hyper-ring gaps (points below a subtree have pivot distances inside
 // its rings, so disjoint rings keep the subtrees at least the gap
-// apart).
+// apart). Ring sharpening requires one pivot set — regions from the
+// two sides of a bipartite join keep the ball bound alone.
 func (e *PairEnumerator) regionBound(a, b pairRegion) float64 {
 	if a.n == b.n || a.center == nil || b.center == nil {
 		return 0
@@ -396,12 +456,14 @@ func (e *PairEnumerator) regionBound(a, b pairRegion) float64 {
 	if lb < 0 {
 		lb = 0
 	}
-	for i := range a.hr {
-		if g := a.hr[i].Min - b.hr[i].Max; g > lb {
-			lb = g
-		}
-		if g := b.hr[i].Min - a.hr[i].Max; g > lb {
-			lb = g
+	if a.side == b.side {
+		for i := range a.hr {
+			if g := a.hr[i].Min - b.hr[i].Max; g > lb {
+				lb = g
+			}
+			if g := b.hr[i].Min - a.hr[i].Max; g > lb {
+				lb = g
+			}
 		}
 	}
 	return lb

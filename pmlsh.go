@@ -25,6 +25,12 @@ const (
 // their QuantKind, for wiring command-line flags.
 func ParseQuantKind(s string) (QuantKind, error) { return store.ParseQuantKind(s) }
 
+// AutoCompactAlways is a sentinel for Config.AutoCompactFraction that
+// makes every Delete leaving at least one tombstone trigger a Compact.
+// (A literal 0 cannot express this: the zero value selects the 0.3
+// default.) It survives serialization round trips.
+const AutoCompactAlways = core.AutoCompactAlways
+
 // Neighbor is one query result: a point id (the row index passed to
 // Build, unless custom ids were provided) and its exact Euclidean
 // distance to the query.
@@ -83,8 +89,18 @@ type Config struct {
 	UseRTree bool
 	// AutoCompactFraction is the deleted share of the vector store at
 	// which a Delete triggers an automatic Compact (0 = 0.3; negative
-	// disables auto-compaction; values above 1 are rejected).
+	// disables auto-compaction; values above 1 are rejected; the
+	// AutoCompactAlways sentinel compacts on every tombstone). With
+	// Shards > 1 the fraction applies per shard.
 	AutoCompactFraction float64
+	// Shards splits the index into N independent shards with ids
+	// striped across them (0 and 1 both mean a single shard, which is
+	// element-wise identical to earlier single-shard builds). With
+	// N > 1 queries read atomically published per-shard snapshots and
+	// never wait on a mutation — at the cost of one extra full replica
+	// of the dataset per shard (the engine holds 2× the data). See the
+	// package documentation for guidance on picking N.
+	Shards int
 	// Quantize attaches a scalar-quantized copy of the dataset (QuantF32
 	// or QuantI8) and screens verification candidates with a provable
 	// lower bound on their exact distance before touching the
@@ -100,17 +116,20 @@ type Config struct {
 // (ratio, confidence width, result filter, budget, statistics sink);
 // the fixed-signature legacy methods are shims over it.
 //
-// Every method is safe for concurrent use: queries run concurrently
-// with each other under a shared reader lock, while Insert, Delete and
-// Compact take the writer side and serialize against readers and one
-// another. A query always observes a consistent state and never
-// returns a deleted point.
+// Every method is safe for concurrent use, and reads are snapshot
+// isolated: a query pins an atomically published snapshot of each
+// shard, so queries never wait on Insert, Delete or Compact and never
+// wait on each other. A query always observes a consistent state and
+// never returns a deleted point. Mutations serialize per shard; with
+// Config.Shards > 1, mutations to different shards run concurrently.
 //
 // Ids are stable: Insert assigns them from a monotone counter and they
 // are never reused or remapped — not by Delete, not by Compact — so an
 // id a caller holds refers to the same point for the index's lifetime.
+// With Shards > 1, concurrent Inserts receive unique ids that may
+// interleave out of call order; sequential inserts stay consecutive.
 type Index struct {
-	ix *core.Index
+	ix *core.Engine
 }
 
 // Build constructs an index over data. Every point must have the same
@@ -118,7 +137,7 @@ type Index struct {
 // vector store, so the caller keeps ownership of data and may reuse or
 // mutate it after Build returns.
 func Build(data [][]float64, cfg Config) (*Index, error) {
-	ix, err := core.Build(data, core.Config{
+	ix, err := core.BuildEngine(data, core.Config{
 		M:                   cfg.M,
 		NumPivots:           cfg.NumPivots,
 		ExplicitZeroPivots:  cfg.ZeroPivots,
@@ -128,6 +147,7 @@ func Build(data [][]float64, cfg Config) (*Index, error) {
 		UseRTree:            cfg.UseRTree,
 		AutoCompactFraction: cfg.AutoCompactFraction,
 		Quantize:            cfg.Quantize,
+		Shards:              cfg.Shards,
 	})
 	if err != nil {
 		return nil, err
@@ -164,8 +184,9 @@ func (x *Index) Quantize() QuantKind { return x.ix.Quantize() }
 // repacked (dropping tombstones), the projected-space tree is bulk
 // loaded from scratch — restoring the tight covering regions that
 // deletions loosen — and the query-radius distance sample is
-// refreshed. Ids are preserved. Compact may run concurrently with
-// queries and other mutations; it blocks them while it rebuilds.
+// refreshed. Ids are preserved. Compact rebuilds shard by shard and
+// swaps each rebuilt snapshot in atomically, so queries keep answering
+// throughout; only mutations to the shard being rebuilt wait.
 func (x *Index) Compact() error { return x.ix.Compact() }
 
 // Len returns the size of the id space: the number of ids ever
@@ -185,6 +206,10 @@ func (x *Index) Dim() int { return x.ix.Dim() }
 
 // M returns the projected dimensionality (hash-function count).
 func (x *Index) M() int { return x.ix.M() }
+
+// Shards returns the shard count (1 unless Config.Shards asked for
+// more).
+func (x *Index) Shards() int { return x.ix.Shards() }
 
 // KNN answers a (c,k)-ANN query: it returns up to k points whose i-th
 // member is, with constant probability, within c²·||q,o*_i|| of the
@@ -289,16 +314,20 @@ func (x *Index) DeriveParams(c float64) (Params, error) {
 }
 
 // WriteTo serializes the index (projection, tree structure, dataset
-// with tombstones, id map, distance sample) to w in a little-endian
-// binary format. A loaded index answers queries identically to the
-// saved one, holds the same live set and retired ids, and recycles
-// storage slots in the same order. WriteTo takes the reader lock, so
-// it snapshots a consistent state even under concurrent mutations.
+// with tombstones, id map, distance sample; with Shards > 1 the shard
+// layout too) to w in a little-endian binary format. A loaded index
+// answers queries identically to the saved one, holds the same live
+// set and retired ids, and recycles storage slots in the same order.
+// Like queries, WriteTo reads pinned snapshots — it neither waits on
+// concurrent mutations nor makes them wait. A single-shard index
+// writes exactly the pre-sharding stream format.
 func (x *Index) WriteTo(w io.Writer) (int64, error) { return x.ix.WriteTo(w) }
 
-// Load deserializes an index written with WriteTo.
+// Load deserializes an index written with WriteTo, including streams
+// written by earlier versions of this package (which load with a
+// single shard).
 func Load(r io.Reader) (*Index, error) {
-	ix, err := core.Load(r)
+	ix, err := core.LoadEngine(r)
 	if err != nil {
 		return nil, err
 	}

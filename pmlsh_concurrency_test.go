@@ -47,16 +47,16 @@ func TestKNNBatchEdgeCases(t *testing.T) {
 	if res, err := ix.KNNBatch(nil, 5, 1.5); err != nil || res != nil {
 		t.Fatalf("empty batch: %v %v", res, err)
 	}
-	// A bad query surfaces as an error naming its index; the good
-	// queries still complete.
+	// A bad query surfaces as an error naming its index, and the batch
+	// returns no results at all — never a partially filled slice.
 	qs := ds.Queries(3, 34)
 	qs[1] = []float64{1, 2, 3} // wrong dimensionality
 	res, err := ix.KNNBatch(qs, 5, 1.5)
 	if err == nil {
 		t.Fatal("bad query should produce an error")
 	}
-	if len(res) != 3 || res[0] == nil || res[2] == nil {
-		t.Fatalf("good queries should still be answered: %v", res)
+	if res != nil {
+		t.Fatalf("failed batch should return nil results, got %v", res)
 	}
 	if _, err := ix.KNNBatch(ds.Queries(2, 35), 0, 1.5); err == nil {
 		t.Fatal("k=0 should fail")

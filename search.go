@@ -132,12 +132,14 @@ func (x *Index) Search(ctx context.Context, q []float64, k int, opts ...SearchOp
 // SearchBatch answers many (c,k)-ANN requests under one options value,
 // fanning them across a worker pool of up to GOMAXPROCS goroutines.
 // out[i] holds the neighbors of qs[i], identical to Search per query —
-// only the scheduling differs. The batch holds the reader lock once,
-// so every query observes the same index state; mutations wait for the
-// batch to finish. Cancellation is checked between work items and
-// between each query's expansion rounds; a canceled batch returns
-// ctx.Err(). Otherwise the first query error, if any, is returned
-// after all workers finish.
+// only the scheduling differs. The batch pins one snapshot of every
+// shard up front, so all its queries observe the same index state, and
+// mutations neither wait for the batch nor make it wait. Cancellation
+// is checked between work items and between each query's expansion
+// rounds; a canceled batch returns ctx.Err(). Otherwise the first
+// query error, if any, is returned after all workers finish — and on
+// any non-nil error the result slice is nil, never a partially filled
+// batch.
 func (x *Index) SearchBatch(ctx context.Context, qs [][]float64, k int, opts ...SearchOption) ([][]Neighbor, error) {
 	res, err := x.ix.SearchBatch(ctx, qs, k, searchOptions(opts))
 	if res == nil {
