@@ -1,0 +1,76 @@
+package pmlsh
+
+// BenchmarkServerSearch measures end-to-end single-query latency
+// through the HTTP serving layer (internal/server) — JSON decode,
+// engine search, JSON encode, metrics middleware — over a loopback
+// connection with keep-alive, next to the in-process benchmarks so the
+// serving overhead is a visible line in the perf trajectory.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func BenchmarkServerSearch(b *testing.B) {
+	w := workload(b)
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			eng, err := core.BuildEngine(w.Dataset.Points, core.Config{Seed: 5, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := server.New(server.Config{
+				Engine: eng,
+				Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			client := ts.Client()
+
+			bodies := make([][]byte, len(w.Queries))
+			for i, q := range w.Queries {
+				if bodies[i], err = json.Marshal(map[string]any{"q": q, "k": 50}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Warm the connection so b.N=1 runs do not time a TCP dial.
+			if err := postSearch(client, ts.URL, bodies[0]); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := postSearch(client, ts.URL, bodies[i%len(bodies)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func postSearch(client *http.Client, baseURL string, body []byte) error {
+	resp, err := client.Post(baseURL+"/v1/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -11,6 +11,8 @@
 //	pmlsh bench -data vectors.f64 -shards 4 ...   (build in-process instead of loading)
 //	pmlsh churn -data vectors.f64 [-ops 2000] [-delfrac 0.4] [-k 10] [-shards 4]
 //	pmlsh info  -index out.pmlsh
+//	pmlsh serve -data vectors.f64 -shards 4 -addr :8080 [-quantize i8] [-drain-timeout 15s] [-save out.pmlsh]
+//	pmlsh serve -load out.pmlsh -addr :8080
 //
 // Query subcommands run through the request API (Search, SearchBatch,
 // SearchPairs): -alpha1/-budget map to the per-query options, and
@@ -65,6 +67,8 @@ func main() {
 		err = runChurn(os.Args[2:])
 	case "info":
 		err = runInfo(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -76,7 +80,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pmlsh <build|query|cp|bench|churn|info> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pmlsh <build|query|cp|bench|churn|info|serve> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'pmlsh <subcommand> -h' for flags")
 }
 
@@ -515,11 +519,14 @@ func runInfo(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ids:        %d\n", ix.Len())
-	fmt.Printf("live:       %d\n", ix.LiveLen())
-	fmt.Printf("dimensions: %d\n", ix.Dim())
-	fmt.Printf("projected:  %d\n", ix.M())
-	fmt.Printf("shards:     %d\n", ix.Shards())
+	info := ix.Info()
+	fmt.Printf("ids:        %d\n", info.IDs)
+	fmt.Printf("live:       %d\n", info.Live)
+	fmt.Printf("dead rows:  %d\n", info.Dead)
+	fmt.Printf("dimensions: %d\n", info.Dim)
+	fmt.Printf("projected:  %d\n", info.M)
+	fmt.Printf("shards:     %d\n", info.Shards)
+	fmt.Printf("quantize:   %v\n", info.Quantize)
 	p, err := ix.DeriveParams(1.5)
 	if err != nil {
 		return err

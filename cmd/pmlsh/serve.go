@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// runServe puts an index behind the HTTP serving layer
+// (internal/server): the full query and mutation API, health and
+// readiness probes, and Prometheus-text /metrics. On SIGTERM/SIGINT it
+// drains gracefully — readiness starts failing so load balancers stop
+// routing here, in-flight requests finish under -drain-timeout, and
+// with -save the final state is checkpointed before exit.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	dataPath := fs.String("data", "", "raw float64 dump to build and serve (alternative to -load)")
+	loadPath := fs.String("load", "", "serialized index file to serve")
+	shards := fs.Int("shards", 0, "shard count when building from -data (0 or 1 = single shard)")
+	seed := fs.Int64("seed", 1, "build seed when building from -data")
+	quantize := fs.String("quantize", "", "screening codec override: none, f32 or i8 (empty = keep)")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "how long in-flight requests get to finish after a shutdown signal")
+	savePath := fs.String("save", "", "write a final index checkpoint here during shutdown")
+	fs.Parse(args)
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	var eng *core.Engine
+	var err error
+	switch {
+	case *dataPath != "" && *loadPath != "":
+		return fmt.Errorf("serve takes -data or -load, not both")
+	case *dataPath != "":
+		var data [][]float64
+		if data, err = readDump(*dataPath); err != nil {
+			return err
+		}
+		start := time.Now()
+		if eng, err = core.BuildEngine(data, core.Config{Seed: *seed, Shards: *shards}); err != nil {
+			return err
+		}
+		log.Info("index built", "points", eng.Len(), "shards", *shards,
+			"elapsed", time.Since(start).Round(time.Millisecond).String())
+	case *loadPath != "":
+		f, ferr := os.Open(*loadPath)
+		if ferr != nil {
+			return ferr
+		}
+		eng, err = core.LoadEngine(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		log.Info("index loaded", "path", *loadPath, "points", eng.Len())
+	default:
+		return fmt.Errorf("serve requires -data or -load")
+	}
+	if *quantize != "" {
+		kind, err := store.ParseQuantKind(*quantize)
+		if err != nil {
+			return err
+		}
+		if err := eng.SetQuantize(kind); err != nil {
+			return err
+		}
+	}
+
+	srv, err := server.New(server.Config{Engine: eng, Logger: log})
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Info("serving", "addr", *addr)
+
+	select {
+	case err := <-errCh:
+		// ListenAndServe only returns early on a bind/accept failure.
+		return err
+	case sig := <-sigCh:
+		log.Info("shutdown signal, draining", "signal", sig.String(), "timeout", drainTimeout.String())
+	}
+	srv.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Error("drain did not finish cleanly", "err", err.Error())
+	}
+	if *savePath != "" {
+		if err := srv.Checkpoint(*savePath); err != nil {
+			return err
+		}
+	}
+	log.Info("shutdown complete")
+	return nil
+}

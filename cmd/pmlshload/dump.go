@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// readDump reads a raw float64 dataset dump (the cmd/datagen format:
+// two int64 headers n and d, then n·d little-endian float64 values).
+func readDump(path string) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	hdr := make([]int64, 2)
+	if err := binary.Read(r, binary.LittleEndian, hdr); err != nil {
+		return nil, fmt.Errorf("read header: %w", err)
+	}
+	n, d := int(hdr[0]), int(hdr[1])
+	if n < 1 || d < 1 || n > 1<<30 || d > 1<<20 {
+		return nil, fmt.Errorf("implausible dump header n=%d d=%d", n, d)
+	}
+	flat := make([]float64, n*d)
+	if err := binary.Read(r, binary.LittleEndian, flat); err != nil {
+		return nil, fmt.Errorf("read vectors: %w", err)
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = flat[i*d : (i+1)*d : (i+1)*d]
+	}
+	return out, nil
+}

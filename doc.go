@@ -219,6 +219,23 @@
 // counters. With Shards > 1 the counters are summed across the shards
 // a query touched (FinalRadius reports the largest per-shard radius).
 //
+// # Serving
+//
+// The engine runs as a network service: `pmlsh serve` (cmd/pmlsh) puts
+// a sharded index behind an HTTP/JSON API (internal/server) exposing
+// the full request API — per-request ratio/α₁/budget and a timeout_ms
+// that becomes a context deadline — plus insert/delete/compact,
+// health and readiness probes, Prometheus-text metrics with structured
+// request logging (internal/obs), graceful drain on SIGTERM (readiness
+// fails, in-flight requests finish, a final checkpoint is written),
+// and crash-safe temp-file+rename checkpoints. cmd/pmlshload generates
+// sustained open-loop traffic against it and scores achieved recall
+// with a brute-force oracle; the build-tagged soak suite
+// (internal/server) asserts recall, tail latency, zero 5xx and clean
+// drain under an hour-scale mutating workload. Everything is standard
+// library — no dependencies. See the README's Serving section for the
+// endpoint table and a curl session.
+//
 // # Repository layout
 //
 // The exported API wraps internal/core. The repository also contains

@@ -267,6 +267,11 @@ type Index struct {
 	// contract above. Internal lower-case variants assume it is held.
 	mu sync.RWMutex
 
+	// compactions counts completed Compact operations (explicit and
+	// auto-triggered). A runtime observability statistic: it is not
+	// serialized and starts at zero on Load.
+	compactions int64
+
 	// scratch pools the per-query state (projected-query buffer, range
 	// enumerator, per-round emit buffer) so queries from multiple
 	// goroutines never share mutable state and steady-state queries
@@ -649,6 +654,7 @@ func (ix *Index) compactLocked() error {
 		}
 		ix.data, ix.rowOf = fresh, rowOf
 		ix.sampleDistanceDistribution()
+		ix.compactions++
 		return nil
 	}
 
@@ -675,6 +681,7 @@ func (ix *Index) compactLocked() error {
 	}
 	ix.data, ix.rowOf = fresh, rowOf
 	ix.sampleDistanceDistribution()
+	ix.compactions++
 	return nil
 }
 
@@ -762,6 +769,22 @@ func (ix *Index) LiveLen() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.data.Live()
+}
+
+// Dead returns the number of tombstoned storage rows awaiting Compact
+// (deleted points whose slots have not yet been recycled or repacked).
+func (ix *Index) Dead() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.data.Len() - ix.data.Live()
+}
+
+// Compactions returns the number of Compact operations (explicit and
+// auto-triggered) completed since this Index was built or loaded.
+func (ix *Index) Compactions() int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.compactions
 }
 
 // IsLive reports whether id refers to a live (inserted and not yet

@@ -336,6 +336,52 @@ func (e *Engine) LiveLen() int {
 	return total
 }
 
+// EngineInfo is one consistent snapshot of the engine's observable
+// state, gathered with every shard pinned at once — the fields are
+// mutually consistent per shard (IDs, Live and Dead for a shard come
+// from the same published snapshot), so invariants like Live ≤ IDs and
+// Dead ≤ IDs − Live hold even while mutations run.
+type EngineInfo struct {
+	// Dim is the original dimensionality; M the projected one.
+	Dim, M int
+	// Shards is the shard count (1 unless built with Config.Shards > 1).
+	Shards int
+	// IDs is the size of the global id space: ids ever assigned.
+	IDs int
+	// Live is the number of live (not deleted) points.
+	Live int
+	// Dead is the number of tombstoned storage rows awaiting Compact.
+	Dead int
+	// Quantize is the screening codec currently maintained.
+	Quantize store.QuantKind
+	// Compactions counts Compact operations (explicit and auto)
+	// completed since the engine was built or loaded.
+	Compactions int64
+}
+
+// Info returns one consistent snapshot of the engine's observable
+// state. Unlike ad-hoc sequences of Len/LiveLen/Quantize calls — each
+// of which pins and unpins on its own, so a concurrent mutator can
+// land between them — Info pins every shard once and reads all fields
+// from those snapshots.
+func (e *Engine) Info() EngineInfo {
+	pins := e.pinAll()
+	defer unpinAll(pins)
+	info := EngineInfo{
+		Dim:      e.dim,
+		M:        pins[0].ix.M(),
+		Shards:   len(e.shards),
+		Quantize: pins[0].ix.Quantize(),
+	}
+	for _, h := range pins {
+		info.IDs += h.ix.Len()
+		info.Live += h.ix.LiveLen()
+		info.Dead += h.ix.Dead()
+		info.Compactions += h.ix.Compactions()
+	}
+	return info
+}
+
 // IsLive reports whether the global id refers to a live point.
 func (e *Engine) IsLive(gid int32) bool {
 	if gid < 0 {

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPMetrics bundles the standard per-route serving metrics and the
+// middleware that feeds them. One instance instruments a whole server;
+// every route shares the counters and distinguishes itself by label.
+type HTTPMetrics struct {
+	// Requests counts completed requests by route and status code.
+	Requests *CounterVec
+	// Errors counts completed requests whose status was >= 400, by
+	// route and status code — a subset of Requests kept separately so
+	// error-rate alerts need no PromQL regex over codes.
+	Errors *CounterVec
+	// Latency is the request wall time in seconds, by route.
+	Latency *HistogramVec
+	// InFlight is the number of requests currently being served.
+	InFlight *Gauge
+
+	log *slog.Logger
+	seq atomic.Int64
+	// epoch namespaces generated request ids across restarts.
+	epoch int64
+}
+
+// NewHTTPMetrics registers the serving metric families on reg under
+// the given name prefix (e.g. "pmlsh") and returns the bundle. Request
+// logs go to logger (nil = a default text logger on stderr).
+func NewHTTPMetrics(reg *Registry, prefix string, logger *slog.Logger) *HTTPMetrics {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	return &HTTPMetrics{
+		Requests: reg.CounterVec(prefix+"_http_requests_total",
+			"Completed HTTP requests by route and status code.", "route", "code"),
+		Errors: reg.CounterVec(prefix+"_http_errors_total",
+			"Completed HTTP requests with status >= 400 by route and status code.", "route", "code"),
+		Latency: reg.HistogramVec(prefix+"_http_request_duration_seconds",
+			"HTTP request wall time in seconds by route.",
+			ExpBuckets(100e-6, 2, 18), // 100µs .. ~13s
+			"route"),
+		InFlight: reg.Gauge(prefix+"_http_in_flight",
+			"Requests currently being served."),
+		log:   logger,
+		epoch: time.Now().UnixNano(),
+	}
+}
+
+// statusWriter records the status code and body size a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Wrap instruments next as the handler for route: it assigns (or
+// propagates) a request id, counts the request into the route's
+// metrics with its final status code, observes its latency, tracks
+// in-flight requests, emits one structured log line per request, and
+// turns a handler panic into a logged 500 instead of a torn
+// connection.
+func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = fmt.Sprintf("%x-%x", m.epoch, m.seq.Add(1))
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		sw := &statusWriter{ResponseWriter: w}
+		m.InFlight.Inc()
+		defer func() {
+			m.InFlight.Dec()
+			if p := recover(); p != nil {
+				// The handler may have written nothing yet; try to turn
+				// the panic into a proper 500 (a no-op if headers are out).
+				if sw.status == 0 {
+					http.Error(sw, "internal server error", http.StatusInternalServerError)
+				}
+				m.log.Error("panic serving request",
+					"route", route, "request_id", reqID, "panic", fmt.Sprint(p))
+			}
+			code := sw.status
+			if code == 0 {
+				code = http.StatusOK // handler wrote nothing: net/http sends 200
+			}
+			codeStr := fmt.Sprint(code)
+			m.Requests.With(route, codeStr).Inc()
+			if code >= 400 {
+				m.Errors.With(route, codeStr).Inc()
+			}
+			elapsed := time.Since(start)
+			m.Latency.With(route).Observe(elapsed.Seconds())
+			m.log.Info("request",
+				"method", r.Method, "route", route, "status", code,
+				"dur_ms", float64(elapsed.Microseconds())/1000,
+				"bytes", sw.bytes, "request_id", reqID, "remote", r.RemoteAddr)
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}

@@ -1,0 +1,358 @@
+//go:build soak
+
+package server
+
+// Sustained-traffic soak: a real http.Server serves a 4-shard engine
+// while the load generator (internal/loadgen) drives an open-loop mix
+// of searches, inserts, deletes and timed compactions against it.
+// The run asserts the serving contract end to end:
+//
+//   - recall ≥ 0.8 against a live brute-force oracle at every
+//     checkpoint, while the index mutates underneath;
+//   - zero 5xx responses;
+//   - HTTP p99 latency within 10× the in-process read p99 measured
+//     under the same mutator churn (the BenchmarkMixedReadP99 figure);
+//   - /metrics accounts for every request the generator completed;
+//   - graceful drain: readiness flips to 503, in-flight requests all
+//     finish with complete bodies, and the final checkpoint reloads.
+//
+// The full run takes ~60s and is build-tagged out of the default test
+// set; -short shrinks it to a few seconds:
+//
+//	go test -tags soak -run TestSoakSustainedTraffic -timeout 5m ./internal/server/
+//	go test -tags soak -short -run TestSoakSustainedTraffic ./internal/server/
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+)
+
+// soakMutator churns eng like BenchmarkMixedReadP99's mutator: insert
+// a point, delete the previously inserted one, Compact every 24
+// cycles.
+func soakMutator(t *testing.T, eng *core.Engine, pts [][]float64, stop chan struct{}, wg *sync.WaitGroup) {
+	t.Helper()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		prev := int32(-1)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id, err := eng.Insert(pts[i%len(pts)])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if prev >= 0 {
+				if err := eng.Delete(prev); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			prev = id
+			if i%24 == 23 {
+				if err := eng.Compact(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+}
+
+// inProcessReadP99 measures in-process search latency under mutator
+// churn at the soak's own concurrency — `readers` goroutines querying
+// at once, so CPU contention (compaction bursts starving readers on a
+// small runner) lands in the baseline exactly as it lands on the HTTP
+// path — and returns (serial mean, concurrent p99). The serial mean
+// sets the offered rate; the concurrent p99 is the latency baseline.
+func inProcessReadP99(t *testing.T, eng *core.Engine, data [][]float64, readers, queries int) (time.Duration, time.Duration) {
+	t.Helper()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	soakMutator(t, eng, data, stop, &wg)
+	defer func() { close(stop); wg.Wait() }()
+	ctx := context.Background()
+
+	// Serial mean first: the single-reader service time.
+	rng := rand.New(rand.NewSource(99))
+	const serial = 200
+	var total time.Duration
+	for i := 0; i < serial; i++ {
+		q := data[rng.Intn(len(data))]
+		t0 := time.Now()
+		if _, err := eng.Search(ctx, q, 10, core.SearchOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		total += time.Since(t0)
+	}
+
+	// Concurrent p99 at the soak's worker count.
+	lats := make([]time.Duration, queries)
+	per := queries / readers
+	var rwg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			rng := rand.New(rand.NewSource(100 + int64(r)))
+			for i := 0; i < per; i++ {
+				q := data[rng.Intn(len(data))]
+				t0 := time.Now()
+				if _, err := eng.Search(ctx, q, 10, core.SearchOptions{}); err != nil {
+					t.Error(err)
+					return
+				}
+				lats[r*per+i] = time.Since(t0)
+			}
+		}(r)
+	}
+	rwg.Wait()
+	lats = lats[:readers*per]
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return total / serial, lats[len(lats)*99/100]
+}
+
+func TestSoakSustainedTraffic(t *testing.T) {
+	duration := 60 * time.Second
+	if testing.Short() {
+		duration = 6 * time.Second
+	}
+	data := testData(3000, 16, 7)
+	eng, err := core.BuildEngine(data, core.Config{Shards: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	meanLat, baseP99 := inProcessReadP99(t, eng, data, 8, 1600)
+	t.Logf("in-process baseline under mutator: mean=%v p99=%v", meanLat, baseP99)
+
+	srv, err := New(Config{Engine: eng, Logger: testLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A real http.Server (not httptest) so the drain phase can exercise
+	// Shutdown exactly as cmd/pmlsh serve does.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	baseURL := "http://" + ln.Addr().String()
+
+	// Offer ~30% of the serial service capacity so queueing stays mild
+	// on a 1-CPU runner but the server is never idle.
+	rate := 0.3 / meanLat.Seconds()
+	if rate < 50 {
+		rate = 50
+	}
+	if rate > 400 {
+		rate = 400
+	}
+
+	var mu sync.Mutex
+	var checkpoints []loadgen.Checkpoint
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:         baseURL,
+		Rate:            rate,
+		Duration:        duration,
+		Workers:         8,
+		K:               10,
+		ReadFraction:    0.85,
+		CompactEvery:    duration / 5,
+		CheckpointEvery: duration / 6,
+		Seed:            3,
+		Data:            data,
+		OnCheckpoint: func(cp loadgen.Checkpoint) {
+			mu.Lock()
+			checkpoints = append(checkpoints, cp)
+			mu.Unlock()
+			t.Logf("checkpoint %v: searches=%d recall=%.3f window-p99=%v live=%d",
+				cp.At.Round(time.Millisecond), cp.Searches, cp.Recall, cp.P99, cp.Live)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("completed=%d qps=%.0f p50=%v p95=%v p99=%v recall=%.3f dropped=%d transport-errors=%d",
+		rep.Completed, rep.AchievedQPS, rep.P50, rep.P95, rep.P99,
+		rep.MeanRecall, rep.Dropped, rep.TransportErrors)
+
+	// Recall ≥ 0.8 at every checkpoint that scored searches.
+	scored := 0
+	for _, cp := range checkpoints {
+		if cp.Searches == 0 {
+			continue
+		}
+		scored++
+		if cp.Recall < 0.8 {
+			t.Errorf("checkpoint at %v: recall %.3f < 0.8", cp.At, cp.Recall)
+		}
+	}
+	if scored < 2 {
+		t.Errorf("only %d checkpoints scored searches — the soak did not sustain traffic", scored)
+	}
+	if rep.Searches < int64(duration.Seconds())*10 {
+		t.Errorf("only %d searches in %v — rate collapsed", rep.Searches, duration)
+	}
+
+	// Zero 5xx, and only codes the API defines.
+	if rep.Server5xx > 0 {
+		t.Errorf("%d responses were 5xx: %v", rep.Server5xx, rep.ByCode)
+	}
+	if rep.TransportErrors > 8 {
+		// Only in-flight requests cancelled at the run deadline may fail
+		// below HTTP — at most one per worker.
+		t.Errorf("%d transport errors (more than one per worker)", rep.TransportErrors)
+	}
+	if rep.Dropped > rep.Sent/10 {
+		t.Errorf("dropped %d of %d offered ops — server fell far behind the open-loop rate", rep.Dropped, rep.Sent)
+	}
+
+	// Tail-latency bound: 10× the in-process p99 under the same churn.
+	if bound := 10 * baseP99; rep.P99 >= bound {
+		t.Errorf("HTTP p99 %v >= bound %v (10× in-process p99 %v)", rep.P99, bound, baseP99)
+	}
+
+	// /metrics accounts for every completed request: per route, the
+	// requests_total sum across codes and the latency histogram count
+	// both match the generator's own tally. The server may have counted
+	// up to TransportErrors more (responses the client never read).
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("metrics do not parse: %v", err)
+	}
+	known := strings.Join(routeList, " ")
+	for route, n := range rep.ByRoute {
+		if !strings.Contains(known, route) {
+			t.Errorf("generator hit unknown route %q", route)
+		}
+		var counted, histCount float64
+		for series, v := range samples {
+			if strings.HasPrefix(series, `pmlsh_http_requests_total{route="`+route+`",`) {
+				counted += v
+			}
+		}
+		histCount = samples[`pmlsh_http_request_duration_seconds_count{route="`+route+`"}`]
+		slack := float64(rep.TransportErrors)
+		if counted < float64(n) || counted > float64(n)+slack {
+			t.Errorf("route %s: metrics count %v, generator completed %d (slack %v)", route, counted, n, slack)
+		}
+		if histCount != counted {
+			t.Errorf("route %s: histogram count %v != requests_total %v", route, histCount, counted)
+		}
+	}
+
+	// Graceful drain: park slow batch queries in flight, flip the
+	// drain, then Shutdown — every in-flight request must complete with
+	// a full body and readiness must fail while serving continues.
+	var batchBody bytes.Buffer
+	batchBody.WriteString(`{"qs":[`)
+	for i := 0; i < 300; i++ {
+		if i > 0 {
+			batchBody.WriteByte(',')
+		}
+		fmt.Fprintf(&batchBody, `[%g`, data[i][0])
+		for _, v := range data[i][1:] {
+			fmt.Fprintf(&batchBody, `,%g`, v)
+		}
+		batchBody.WriteByte(']')
+	}
+	batchBody.WriteString(`],"k":10}`)
+
+	const inFlight = 4
+	results := make(chan error, inFlight)
+	for i := 0; i < inFlight; i++ {
+		go func() {
+			resp, err := http.Post(baseURL+"/v1/search/batch", "application/json",
+				bytes.NewReader(batchBody.Bytes()))
+			if err != nil {
+				results <- err
+				return
+			}
+			defer resp.Body.Close()
+			var parsed struct {
+				Results [][]struct {
+					ID int32 `json:"id"`
+				} `json:"results"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&parsed); err != nil {
+				results <- fmt.Errorf("torn response during drain: %w", err)
+				return
+			}
+			if resp.StatusCode != 200 || len(parsed.Results) != 300 {
+				results <- fmt.Errorf("status %d with %d results", resp.StatusCode, len(parsed.Results))
+				return
+			}
+			results <- nil
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the batches get in flight
+	srv.StartDrain()
+	if resp, err := http.Get(baseURL + "/readyz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("readyz during drain = %d, want 503", resp.StatusCode)
+		}
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		t.Errorf("shutdown did not drain cleanly: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v, want ErrServerClosed", err)
+	}
+	for i := 0; i < inFlight; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("in-flight request %d: %v", i, err)
+		}
+	}
+
+	// Final checkpoint survives a reload with the live set intact.
+	path := t.TempDir() + "/soak.pmlsh"
+	if err := srv.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, err := core.LoadEngine(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.LiveLen() != eng.LiveLen() || loaded.Len() != eng.Len() {
+		t.Errorf("reloaded checkpoint %d/%d live/ids, want %d/%d",
+			loaded.LiveLen(), loaded.Len(), eng.LiveLen(), eng.Len())
+	}
+}

@@ -211,6 +211,45 @@ func (x *Index) M() int { return x.ix.M() }
 // more).
 func (x *Index) Shards() int { return x.ix.Shards() }
 
+// Info is one consistent snapshot of the index's observable state —
+// what a dashboard or the /v1/info serving endpoint reports.
+type Info struct {
+	// Dim is the original dimensionality; M the projected one.
+	Dim, M int
+	// Shards is the shard count.
+	Shards int
+	// IDs is the size of the id space: ids ever assigned.
+	IDs int
+	// Live is the number of live (not deleted) points.
+	Live int
+	// Dead is the number of tombstoned storage rows awaiting Compact.
+	Dead int
+	// Quantize is the screening codec currently maintained.
+	Quantize QuantKind
+	// Compactions counts Compact operations (explicit and automatic)
+	// completed since the index was built or loaded.
+	Compactions int64
+}
+
+// Info returns one consistent snapshot of the index's observable
+// state. All fields are read from a single pinned snapshot of every
+// shard, so they are mutually consistent (Live ≤ IDs, Dead ≤ IDs−Live)
+// even while mutations run — unlike an ad-hoc sequence of Len /
+// LiveLen / Quantize calls, between which a mutator can land.
+func (x *Index) Info() Info {
+	ei := x.ix.Info()
+	return Info{
+		Dim:         ei.Dim,
+		M:           ei.M,
+		Shards:      ei.Shards,
+		IDs:         ei.IDs,
+		Live:        ei.Live,
+		Dead:        ei.Dead,
+		Quantize:    ei.Quantize,
+		Compactions: ei.Compactions,
+	}
+}
+
 // KNN answers a (c,k)-ANN query: it returns up to k points whose i-th
 // member is, with constant probability, within c²·||q,o*_i|| of the
 // query (o*_i the exact i-th NN). Results are sorted by distance.

@@ -5,7 +5,8 @@
 # churned and filtered QueryK50 paths, plus scr/op screen-reject counts
 # for the quantized variants and the d=768 high-dim workload, plus
 # p50-ns/p99-ns read-tail-latency-under-mutator for the RWMutex
-# baseline vs the snapshot-isolated sharded engine).
+# baseline vs the snapshot-isolated sharded engine, plus the
+# end-to-end HTTP serving latency of BenchmarkServerSearch).
 #
 # Usage: scripts/bench_trajectory.sh [output.json]
 #   PR        tag for the stacked-PR sequence number   (default: 6)
@@ -13,12 +14,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pr="${PR:-7}"
+pr="${PR:-8}"
 out="${1:-BENCH_${pr}.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(go test -run '^$' \
-  -bench '^(BenchmarkQueryK50|BenchmarkKNNSerial|BenchmarkKNNBatch|BenchmarkQueryK50Churned|BenchmarkQueryK50Filtered|BenchmarkQueryK50QuantF32|BenchmarkQueryK50QuantI8|BenchmarkQueryK50HighDim|BenchmarkQueryK50HighDimQuantF32|BenchmarkQueryK50HighDimQuantI8|BenchmarkMixedReadP99)$' \
+  -bench '^(BenchmarkQueryK50|BenchmarkKNNSerial|BenchmarkKNNBatch|BenchmarkQueryK50Churned|BenchmarkQueryK50Filtered|BenchmarkQueryK50QuantF32|BenchmarkQueryK50QuantI8|BenchmarkQueryK50HighDim|BenchmarkQueryK50HighDimQuantF32|BenchmarkQueryK50HighDimQuantI8|BenchmarkMixedReadP99|BenchmarkServerSearch)$' \
   -benchtime "$benchtime" .)"
 echo "$raw"
 echo "$raw" | go run ./cmd/benchjson -pr "$pr" > "$out"
