@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// A bad -load must fail fast — clear error, non-zero exit, and no
+// listener bound (an orchestrator must never see the process healthy).
+func TestServeLoadMissingFileFailsBeforeBind(t *testing.T) {
+	err := runServe([]string{"-load", filepath.Join(t.TempDir(), "nope.pmlsh"), "-addr", "127.0.0.1:0"})
+	if err == nil {
+		t.Fatal("serve with a missing -load file did not fail")
+	}
+	if !strings.Contains(err.Error(), "nope.pmlsh") {
+		t.Fatalf("error does not name the file: %v", err)
+	}
+}
+
+func TestServeLoadCorruptFileFailsBeforeBind(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.pmlsh")
+	if err := os.WriteFile(path, []byte("not an index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runServe([]string{"-load", path, "-addr", "127.0.0.1:0"})
+	if err == nil {
+		t.Fatal("serve with a corrupt -load file did not fail")
+	}
+	if !strings.Contains(err.Error(), "bad.pmlsh") || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("error is not diagnosable: %v", err)
+	}
+}
+
+func TestServeEmptyDataDirWithoutBootstrapFails(t *testing.T) {
+	err := runServe([]string{"-data-dir", t.TempDir(), "-addr", "127.0.0.1:0"})
+	if err == nil {
+		t.Fatal("serve with an empty -data-dir and no -data/-load did not fail")
+	}
+	if !strings.Contains(err.Error(), "-data") {
+		t.Fatalf("error does not point at the bootstrap flags: %v", err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want wal.SyncPolicy
+		bad  bool
+	}{
+		{in: "", want: wal.SyncPolicy{}},
+		{in: "always", want: wal.SyncPolicy{}},
+		{in: "everyN=8", want: wal.SyncPolicy{EveryN: 8}},
+		{in: "interval=50ms", want: wal.SyncPolicy{Interval: 50 * time.Millisecond}},
+		{in: "everyN=0", bad: true},
+		{in: "everyN=x", bad: true},
+		{in: "interval=-1s", bad: true},
+		{in: "sometimes", bad: true},
+	}
+	for _, tc := range cases {
+		got, err := parseSyncPolicy(tc.in)
+		if tc.bad {
+			if err == nil {
+				t.Errorf("parseSyncPolicy(%q) accepted", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseSyncPolicy(%q): %v", tc.in, err)
+		} else if got != tc.want {
+			t.Errorf("parseSyncPolicy(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}

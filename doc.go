@@ -236,6 +236,27 @@
 // library — no dependencies. See the README's Serving section for the
 // endpoint table and a curl session.
 //
+// # Durability
+//
+// With `pmlsh serve -data-dir`, the engine is backed by a write-ahead
+// log (internal/wal): every mutation — insert, delete, compact,
+// codec change — is appended to a CRC-framed segment file and fsynced
+// under the -fsync policy (always, everyN=<n> group commit, or
+// interval=<duration>) before it is applied in memory, so a mutation
+// whose call returned is in the durable log. Reopening the directory
+// recovers: load the newest checkpoint, replay the newer segments —
+// repairing a torn tail left by a crash mid-write — and serve.
+// Corruption anywhere before the tail is a hard error, never a silent
+// skip. Background checkpoints (-checkpoint-interval) rotate the log
+// and bound replay time; the listener binds before recovery so
+// /healthz answers immediately while /readyz serves 503 until replay
+// completes. The fault-injection suite (wal.Injector) kills the
+// engine at hundreds of randomized write/fsync boundaries — including
+// torn writes the kernel acknowledged but never persisted — and
+// asserts no acknowledged mutation is lost, nothing half-applied
+// resurfaces, and query quality holds after recovery. See the
+// README's Durability section for the format and a runbook.
+//
 // # Repository layout
 //
 // The exported API wraps internal/core. The repository also contains

@@ -57,6 +57,10 @@ type Engine struct {
 	// assigned), and its shard is that value mod N. Concurrent inserts
 	// claim slots with one atomic add.
 	rr atomic.Int64
+
+	// dur, when non-nil, write-ahead logs every mutation before it is
+	// applied (see durable.go). Queries are unaffected.
+	dur *durable
 }
 
 // MaxShards bounds Config.Shards — past a few hundred shards the
@@ -243,8 +247,18 @@ func (e *Engine) shardOf(gid int32) (int, int32) {
 // Insert adds one point and returns its global id. The point's shard
 // is chosen round-robin; only that shard's writer mutex is taken, so
 // inserts to different shards run concurrently and queries are never
-// blocked.
+// blocked. With durability enabled the insert is logged before it is
+// applied, and all durable mutations serialize on one mutex.
 func (e *Engine) Insert(p []float64) (int32, error) {
+	if e.dur != nil {
+		return e.dur.insert(e, p)
+	}
+	return e.insertMem(p)
+}
+
+// insertMem is the in-memory insert: the non-durable path, and what
+// both live durable inserts and WAL replay apply.
+func (e *Engine) insertMem(p []float64) (int32, error) {
 	if len(p) != e.dim {
 		return 0, fmt.Errorf("core: point has dimension %d, index expects %d", len(p), e.dim)
 	}
@@ -270,6 +284,14 @@ func (e *Engine) Insert(p []float64) (int32, error) {
 // share crosses Config.AutoCompactFraction compacts itself without
 // blocking readers).
 func (e *Engine) Delete(gid int32) error {
+	if e.dur != nil {
+		return e.dur.delete(e, gid)
+	}
+	return e.deleteMem(gid)
+}
+
+// deleteMem is the in-memory delete (see insertMem).
+func (e *Engine) deleteMem(gid int32) error {
 	if gid < 0 {
 		return fmt.Errorf("core: Delete of unknown id %d (ids assigned so far: %d)", gid, e.Len())
 	}
@@ -287,6 +309,14 @@ func (e *Engine) Delete(gid int32) error {
 // throughout — the rebuilt replica is swapped in with one atomic
 // store, never blocking a query.
 func (e *Engine) Compact() error {
+	if e.dur != nil {
+		return e.dur.compact(e)
+	}
+	return e.compactMem()
+}
+
+// compactMem is the in-memory compact (see insertMem).
+func (e *Engine) compactMem() error {
 	for s, sh := range e.shards {
 		if err := sh.write(func(ix *Index) error { return ix.Compact() }); err != nil {
 			return fmt.Errorf("core: compacting shard %d: %w", s, err)
@@ -298,6 +328,14 @@ func (e *Engine) Compact() error {
 // SetQuantize installs, refits, or drops the screening codec on every
 // shard (see Index.SetQuantize).
 func (e *Engine) SetQuantize(kind store.QuantKind) error {
+	if e.dur != nil {
+		return e.dur.setQuantize(e, kind)
+	}
+	return e.setQuantizeMem(kind)
+}
+
+// setQuantizeMem is the in-memory codec switch (see insertMem).
+func (e *Engine) setQuantizeMem(kind store.QuantKind) error {
 	for s, sh := range e.shards {
 		if err := sh.write(func(ix *Index) error { return ix.SetQuantize(kind) }); err != nil {
 			return fmt.Errorf("core: shard %d: %w", s, err)

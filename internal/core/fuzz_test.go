@@ -1,17 +1,18 @@
 package core
 
 // Native fuzz target for index deserialization: corrupt or truncated
-// v1–v4 streams must produce an error, never a panic or an
+// v1–v5 streams must produce an error, never a panic or an
 // unbounded allocation. The seed corpus (testdata/fuzz/FuzzLoad plus
-// the f.Add seeds below) contains genuine v1–v4 streams — including a
-// churned v3 with tombstones and retired ids and a quantized v4 with a
-// codec section — and truncated/bit-flipped variants the fuzzer
-// mutates further.
+// the f.Add seeds below) contains genuine v1–v5 streams — including a
+// churned v3 with tombstones and retired ids, a quantized v4 with a
+// codec section, and sharded PLS5 containers — and
+// truncated/bit-flipped variants the fuzzer mutates further.
 //
 // Run with: go test -fuzz=FuzzLoad -fuzztime=10s ./internal/core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/store"
@@ -58,7 +59,24 @@ func fuzzStreams(tb testing.TB) [][]byte {
 	if _, err := churned.WriteTo(&buf); err != nil {
 		tb.Fatal(err)
 	}
-	return append(out, buf.Bytes())
+	out = append(out, buf.Bytes())
+	// Sharded PLS5 containers: shard boundaries, per-shard length
+	// prefixes and the inner-stream framing are all attack surface.
+	for _, shards := range []int{2, 3} {
+		eng, err := BuildEngine(data, Config{M: 3, NumPivots: 2, Seed: 7, DistSampleSize: 16, Shards: shards})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := eng.Delete(3); err != nil {
+			tb.Fatal(err)
+		}
+		var ebuf bytes.Buffer
+		if _, err := eng.WriteTo(&ebuf); err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, ebuf.Bytes())
+	}
+	return out
 }
 
 func FuzzLoad(f *testing.F) {
@@ -73,19 +91,23 @@ func FuzzLoad(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("PLS3"))
 	f.Add([]byte("PLS1garbage"))
+	f.Add([]byte("PLS5"))
+	f.Add([]byte{'P', 'L', 'S', '5', 0xff, 0xff, 0xff, 0xff})
 
 	f.Fuzz(func(t *testing.T, stream []byte) {
-		ix, err := Load(bytes.NewReader(stream))
+		// LoadEngine accepts every on-disk shape — bare PLS1–PLS4
+		// streams and sharded PLS5 containers alike.
+		eng, err := LoadEngine(bytes.NewReader(stream))
 		if err != nil {
 			return
 		}
-		// A stream that loads must yield a queryable index.
-		q := make([]float64, ix.Dim())
-		if _, err := ix.KNN(q, 3, 1.5); err != nil {
-			t.Fatalf("loaded index cannot answer: %v", err)
+		// A stream that loads must yield a queryable engine.
+		q := make([]float64, eng.Dim())
+		if _, err := eng.Search(context.Background(), q, 3, SearchOptions{C: 1.5}); err != nil {
+			t.Fatalf("loaded engine cannot answer: %v", err)
 		}
-		if ix.LiveLen() > ix.Len() {
-			t.Fatalf("LiveLen %d exceeds Len %d", ix.LiveLen(), ix.Len())
+		if eng.LiveLen() > eng.Len() {
+			t.Fatalf("LiveLen %d exceeds Len %d", eng.LiveLen(), eng.Len())
 		}
 	})
 }

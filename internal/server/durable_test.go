@@ -1,0 +1,124 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// newDurableTestServer builds a WAL-backed engine in a temp state
+// directory behind an httptest server.
+func newDurableTestServer(t *testing.T, interval time.Duration) (*Server, *httptest.Server, *core.Engine, string) {
+	t.Helper()
+	dir := t.TempDir()
+	eng, err := core.BuildEngine(testData(200, 6, 7), core.Config{Shards: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.EnableDurability(wal.DirFS(dir), wal.SyncPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Engine: eng, Logger: testLogger(), CheckpointInterval: interval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, eng, dir
+}
+
+func TestDurableMutationsSurviveReopen(t *testing.T) {
+	s, ts, eng, dir := newDurableTestServer(t, 0)
+	code, resp := post(t, ts, "/v1/insert", fmt.Sprintf(`{"p":%s}`, vecJSON(make([]float64, 6))))
+	if code != 200 {
+		t.Fatalf("insert: %d %v", code, resp)
+	}
+	id := int32(resp["id"].(float64))
+	if code, resp := post(t, ts, "/v1/delete", `{"id":0}`); code != 200 {
+		t.Fatalf("delete: %d %v", code, resp)
+	}
+	s.Close()
+	ts.Close()
+	if err := eng.CloseDurable(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := core.OpenDurable(wal.DirFS(dir), wal.SyncPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.CloseDurable()
+	if !e2.IsLive(id) {
+		t.Fatalf("inserted id %d not live after reopen", id)
+	}
+	if e2.IsLive(0) {
+		t.Fatal("deleted id 0 resurrected after reopen")
+	}
+}
+
+func TestMetricsExposeWALCounters(t *testing.T) {
+	_, ts, _, _ := newDurableTestServer(t, 0)
+	post(t, ts, "/v1/insert", fmt.Sprintf(`{"p":%s}`, vecJSON(make([]float64, 6))))
+	code, body := get(t, ts, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, metric := range []string{
+		"pmlsh_wal_appends_total 1",
+		"pmlsh_wal_synced_total 1",
+		"pmlsh_wal_active_segment 2",
+		"pmlsh_wal_checkpoints_total 0",
+		"pmlsh_wal_replay_records 0",
+	} {
+		if !containsLine(string(body), metric) {
+			t.Errorf("metrics missing %q", metric)
+		}
+	}
+}
+
+func TestBackgroundCheckpointLoopRotatesWAL(t *testing.T) {
+	s, ts, eng, _ := newDurableTestServer(t, 5*time.Millisecond)
+	post(t, ts, "/v1/insert", fmt.Sprintf(`{"p":%s}`, vecJSON(make([]float64, 6))))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, ok := eng.DurabilityStats()
+		if !ok {
+			t.Fatal("engine lost durability")
+		}
+		if st.Checkpoints >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no background checkpoint after 5s: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.Close()
+	s.Close() // idempotent
+	st, _ := eng.DurabilityStats()
+	if st.ActiveSegment < 3 {
+		t.Fatalf("checkpoint did not rotate the WAL: %+v", st)
+	}
+}
+
+// containsLine reports whether text has a line starting with prefix —
+// exact-value metric assertions without regexp.
+func containsLine(text, prefix string) bool {
+	for start := 0; start < len(text); {
+		end := start
+		for end < len(text) && text[end] != '\n' {
+			end++
+		}
+		line := text[start:end]
+		if len(line) >= len(prefix) && line[:len(prefix)] == prefix {
+			return true
+		}
+		start = end + 1
+	}
+	return false
+}

@@ -38,10 +38,13 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // Config configures a Server.
@@ -57,6 +60,12 @@ type Config struct {
 	// MaxBodyBytes caps request body size; larger bodies get 413
 	// (0 = 8 MiB).
 	MaxBodyBytes int64
+	// CheckpointInterval, on a durable (WAL-backed) engine, starts a
+	// background loop that periodically calls CheckpointDurable —
+	// rotating the log and bounding both replay time and disk usage.
+	// 0 disables the loop; it is ignored for non-durable engines.
+	// Stop it with Close.
+	CheckpointInterval time.Duration
 }
 
 // Server is the HTTP serving layer over one engine. Create with New,
@@ -72,6 +81,12 @@ type Server struct {
 	mux     *http.ServeMux
 
 	draining atomic.Bool
+
+	// Background checkpoint loop lifecycle (durable engines only).
+	closeOnce sync.Once
+	ckptStop  chan struct{}
+	ckptDone  chan struct{}
+	ckptErrs  *obs.Counter
 
 	// Query-work histograms, fed by the search handlers: projected
 	// distance computations and screened candidates per query.
@@ -121,6 +136,16 @@ func New(cfg Config) (*Server, error) {
 	reg.GaugeFunc("pmlsh_compactions_total",
 		"Compact operations (explicit and automatic) since the engine was opened.",
 		func() float64 { return float64(s.eng.Info().Compactions) })
+	if s.eng.Durable() {
+		s.registerWALMetrics(reg)
+		if cfg.CheckpointInterval > 0 {
+			s.ckptStop = make(chan struct{})
+			s.ckptDone = make(chan struct{})
+			s.ckptErrs = reg.Counter("pmlsh_wal_checkpoint_failures_total",
+				"Background WAL checkpoints that returned an error.")
+			go s.checkpointLoop(cfg.CheckpointInterval)
+		}
+	}
 
 	s.mux = http.NewServeMux()
 	handle := func(pattern, route string, h http.HandlerFunc) {
@@ -159,6 +184,84 @@ func (s *Server) StartDrain() {
 // Draining reports whether StartDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// Close stops the background checkpoint loop (if one is running) and
+// waits for an in-flight checkpoint to finish. Idempotent; it does not
+// close the engine or its WAL.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.ckptStop != nil {
+			close(s.ckptStop)
+			<-s.ckptDone
+		}
+	})
+}
+
+// checkpointLoop periodically rotates the WAL via CheckpointDurable.
+// Errors are logged and counted but never stop the loop: a transient
+// disk condition should not end log rotation for the process lifetime.
+func (s *Server) checkpointLoop(interval time.Duration) {
+	defer close(s.ckptDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ckptStop:
+			return
+		case <-t.C:
+		}
+		start := time.Now()
+		if err := s.eng.CheckpointDurable(); err != nil {
+			s.ckptErrs.Inc()
+			s.log.Error("background checkpoint failed", "err", err.Error())
+			continue
+		}
+		st, _ := s.eng.DurabilityStats()
+		s.log.Info("background checkpoint",
+			"segment", st.ActiveSegment,
+			"elapsed", time.Since(start).Round(time.Millisecond).String())
+	}
+}
+
+// registerWALMetrics exposes the durability counters of a WAL-backed
+// engine. Scrape-time callbacks read one consistent DurabilityStats
+// snapshot per metric; monotone counters are exported as gauges, which
+// the text format permits and keeps the hot path allocation-free.
+func (s *Server) registerWALMetrics(reg *obs.Registry) {
+	stat := func(f func(core.DurabilityStats) float64) func() float64 {
+		return func() float64 {
+			st, ok := s.eng.DurabilityStats()
+			if !ok {
+				return 0
+			}
+			return f(st)
+		}
+	}
+	reg.GaugeFunc("pmlsh_wal_appends_total",
+		"Mutation records appended to the write-ahead log.",
+		stat(func(st core.DurabilityStats) float64 { return float64(st.Appended) }))
+	reg.GaugeFunc("pmlsh_wal_synced_total",
+		"Mutation records covered by fsync (the durable-acknowledged prefix).",
+		stat(func(st core.DurabilityStats) float64 { return float64(st.Synced) }))
+	reg.GaugeFunc("pmlsh_wal_fsyncs_total",
+		"fsync calls on the active WAL segment (group commit batches appends).",
+		stat(func(st core.DurabilityStats) float64 { return float64(st.Syncs) }))
+	reg.GaugeFunc("pmlsh_wal_active_segment",
+		"Sequence number of the WAL segment being appended to.",
+		stat(func(st core.DurabilityStats) float64 { return float64(st.ActiveSegment) }))
+	reg.GaugeFunc("pmlsh_wal_checkpoints_total",
+		"Durable checkpoints taken since the engine was opened.",
+		stat(func(st core.DurabilityStats) float64 { return float64(st.Checkpoints) }))
+	reg.GaugeFunc("pmlsh_wal_replay_segments",
+		"Log segments replayed by the recovery that produced this engine.",
+		stat(func(st core.DurabilityStats) float64 { return float64(st.ReplaySegments) }))
+	reg.GaugeFunc("pmlsh_wal_replay_records",
+		"Mutation records replayed by the recovery that produced this engine.",
+		stat(func(st core.DurabilityStats) float64 { return float64(st.ReplayRecords) }))
+	reg.GaugeFunc("pmlsh_wal_replay_torn_bytes",
+		"Torn tail bytes truncated off the final segment during recovery.",
+		stat(func(st core.DurabilityStats) float64 { return float64(st.ReplayTornBytes) }))
+}
+
 // Checkpoint serializes the engine to path via a temp file + rename,
 // so a crash mid-write never clobbers the previous checkpoint. Like
 // queries, it reads pinned snapshots and does not block mutations.
@@ -177,6 +280,12 @@ func (s *Server) Checkpoint(path string) error {
 	}
 	if err == nil {
 		err = os.Rename(tmp.Name(), path)
+	}
+	if err == nil {
+		// The rename is durable only once the parent directory's entry
+		// update reaches disk; without this a crash can roll the rename
+		// back and leave the old checkpoint (or nothing) at path.
+		err = wal.DirFS(filepath.Dir(path)).SyncDir()
 	}
 	if err != nil {
 		return fmt.Errorf("server: checkpoint: %w", err)

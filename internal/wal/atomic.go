@@ -1,0 +1,71 @@
+package wal
+
+import "fmt"
+
+// AtomicFile stages a file write behind a temp name so the final name
+// only ever refers to complete, synced content. Write the content,
+// then Commit — which syncs the temp file, renames it over the target,
+// and syncs the directory so the rename itself survives power loss.
+// (fsyncing just the file is not enough: until the directory is
+// synced, a crash can roll the rename back or drop the entry.)
+type AtomicFile struct {
+	f      File
+	fs     FS
+	tmp    string
+	target string
+	err    error
+}
+
+// CreateAtomic begins an atomic write of the named file.
+func CreateAtomic(fs FS, name string) (*AtomicFile, error) {
+	tmp := name + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create %s: %w", tmp, err)
+	}
+	return &AtomicFile{f: f, fs: fs, tmp: tmp, target: name}, nil
+}
+
+// Write appends to the staged temp file.
+func (a *AtomicFile) Write(p []byte) (int, error) {
+	if a.err != nil {
+		return 0, a.err
+	}
+	n, err := a.f.Write(p)
+	if err != nil {
+		a.err = err
+	}
+	return n, err
+}
+
+// Commit syncs, closes, renames, and syncs the directory. On any
+// failure the target is untouched and the temp file is removed on a
+// best-effort basis.
+func (a *AtomicFile) Commit() error {
+	if a.err != nil {
+		a.Abort()
+		return a.err
+	}
+	if err := a.f.Sync(); err != nil {
+		a.Abort()
+		return fmt.Errorf("wal: sync %s: %w", a.tmp, err)
+	}
+	if err := a.f.Close(); err != nil {
+		a.fs.Remove(a.tmp)
+		return fmt.Errorf("wal: close %s: %w", a.tmp, err)
+	}
+	if err := a.fs.Rename(a.tmp, a.target); err != nil {
+		a.fs.Remove(a.tmp)
+		return fmt.Errorf("wal: rename %s -> %s: %w", a.tmp, a.target, err)
+	}
+	if err := a.fs.SyncDir(); err != nil {
+		return fmt.Errorf("wal: sync dir after renaming %s: %w", a.target, err)
+	}
+	return nil
+}
+
+// Abort discards the staged write, leaving the target untouched.
+func (a *AtomicFile) Abort() {
+	a.f.Close()
+	a.fs.Remove(a.tmp)
+}

@@ -1,0 +1,100 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the slice of filesystem behaviour the WAL needs. Production
+// code uses OSFS; the fault-injection tests use Injector, which models
+// durable-vs-volatile file content and lets a test kill the process at
+// any write.
+//
+// All paths are names relative to the state directory; the FS owns the
+// directory root.
+type FS interface {
+	// Create truncates/creates the named file for writing.
+	Create(name string) (File, error)
+	// Open opens the named file read-only.
+	Open(name string) (File, error)
+	// ReadDir lists the state directory's file names, sorted.
+	ReadDir() ([]string, error)
+	// Rename atomically replaces newname with oldname. Like POSIX
+	// rename, durability of the new directory entry requires SyncDir.
+	Rename(oldname, newname string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Truncate shortens the named file to size bytes.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the state directory itself, making renames,
+	// creates, and removes durable.
+	SyncDir() error
+}
+
+// File is the per-file handle surface the WAL needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's written bytes to stable storage.
+	Sync() error
+}
+
+// OSFS implements FS over a real directory via the os package.
+type OSFS struct {
+	// Dir is the state directory root.
+	Dir string
+}
+
+// DirFS returns an FS rooted at dir.
+func DirFS(dir string) FS { return OSFS{Dir: dir} }
+
+func (fs OSFS) Create(name string) (File, error) {
+	return os.Create(filepath.Join(fs.Dir, name))
+}
+
+func (fs OSFS) Open(name string) (File, error) {
+	return os.Open(filepath.Join(fs.Dir, name))
+}
+
+func (fs OSFS) ReadDir() ([]string, error) {
+	ents, err := os.ReadDir(fs.Dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (fs OSFS) Rename(oldname, newname string) error {
+	return os.Rename(filepath.Join(fs.Dir, oldname), filepath.Join(fs.Dir, newname))
+}
+
+func (fs OSFS) Remove(name string) error {
+	return os.Remove(filepath.Join(fs.Dir, name))
+}
+
+func (fs OSFS) Truncate(name string, size int64) error {
+	return os.Truncate(filepath.Join(fs.Dir, name), size)
+}
+
+// SyncDir opens the directory and fsyncs it, so that directory-entry
+// mutations (rename, create, remove) survive power loss. POSIX only
+// guarantees a rename's durability after the containing directory is
+// synced; fsyncing just the file is not enough.
+func (fs OSFS) SyncDir() error {
+	d, err := os.Open(fs.Dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

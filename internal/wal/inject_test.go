@@ -1,0 +1,206 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func readAll(t *testing.T, fs FS, name string) []byte {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return data
+}
+
+func TestInjectorPowerCutDiscardsUnsynced(t *testing.T) {
+	inj := NewInjector()
+	f, _ := inj.Create("a")
+	f.Write([]byte("durable"))
+	f.Sync()
+	inj.SyncDir()
+	f.Write([]byte("-volatile"))
+	f.Close()
+
+	inj.PowerCut(nil)
+	if got := string(readAll(t, inj, "a")); got != "durable" {
+		t.Fatalf("after power cut: %q", got)
+	}
+}
+
+func TestInjectorPowerCutKeepsLuckyPrefix(t *testing.T) {
+	inj := NewInjector()
+	f, _ := inj.Create("a")
+	f.Write([]byte("durable"))
+	f.Sync()
+	inj.SyncDir()
+	f.Write([]byte("0123456789"))
+
+	inj.PowerCut(func(name string, unsynced int) int {
+		if unsynced != 10 {
+			t.Fatalf("unsynced = %d", unsynced)
+		}
+		return 4
+	})
+	if got := string(readAll(t, inj, "a")); got != "durable0123" {
+		t.Fatalf("after partial power cut: %q", got)
+	}
+}
+
+func TestInjectorDirEntryDurability(t *testing.T) {
+	inj := NewInjector()
+	// File fully synced, but its directory entry never was: a power
+	// cut drops the file entirely.
+	f, _ := inj.Create("orphan")
+	f.Write([]byte("x"))
+	f.Sync()
+	inj.PowerCut(nil)
+	if _, err := inj.Open("orphan"); err == nil {
+		t.Fatal("entry without SyncDir survived a power cut")
+	}
+
+	// An un-dir-synced rename rolls back; the inode keeps its durable
+	// content under the old name.
+	f, _ = inj.Create("old")
+	f.Write([]byte("content"))
+	f.Sync()
+	inj.SyncDir()
+	inj.Rename("old", "new")
+	inj.PowerCut(nil)
+	if _, err := inj.Open("new"); err == nil {
+		t.Fatal("un-synced rename survived a power cut")
+	}
+	if got := string(readAll(t, inj, "old")); got != "content" {
+		t.Fatalf("rolled-back rename lost content: %q", got)
+	}
+
+	// An un-dir-synced remove resurrects.
+	inj.Remove("old")
+	inj.PowerCut(nil)
+	if got := string(readAll(t, inj, "old")); got != "content" {
+		t.Fatalf("un-synced remove was durable: %q", got)
+	}
+}
+
+func TestInjectorCrashKeepsEverything(t *testing.T) {
+	inj := NewInjector()
+	f, _ := inj.Create("a")
+	f.Write([]byte("never-synced"))
+	inj.Crash()
+	if got := string(readAll(t, inj, "a")); got != "never-synced" {
+		t.Fatalf("kill -9 lost page-cache bytes: %q", got)
+	}
+	// The pre-crash handle is dead.
+	if _, err := f.Write([]byte("zombie")); !errors.Is(err, ErrStaleHandle) {
+		t.Fatalf("stale handle write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrStaleHandle) {
+		t.Fatalf("stale handle sync: %v", err)
+	}
+}
+
+func TestInjectorFailModes(t *testing.T) {
+	t.Run("err", func(t *testing.T) {
+		inj := NewInjector()
+		f, _ := inj.Create("a")
+		inj.SetFailpoint(2, FailErr)
+		if _, err := f.Write([]byte("first")); err != nil {
+			t.Fatalf("write before failpoint: %v", err)
+		}
+		if _, err := f.Write([]byte("second")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("failpoint write: %v", err)
+		}
+		if !inj.Tripped() {
+			t.Fatal("not tripped")
+		}
+		// Everything after the trip fails: the process is dying.
+		if _, err := f.Write([]byte("third")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("post-trip write: %v", err)
+		}
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("post-trip sync: %v", err)
+		}
+		inj.Crash()
+		if got := string(readAll(t, inj, "a")); got != "first" {
+			t.Fatalf("content: %q", got)
+		}
+	})
+	t.Run("short", func(t *testing.T) {
+		inj := NewInjector()
+		f, _ := inj.Create("a")
+		inj.SetFailpoint(1, FailShort)
+		n, err := f.Write([]byte("abcdefgh"))
+		if n != 4 || !errors.Is(err, ErrInjected) {
+			t.Fatalf("short write: n=%d err=%v", n, err)
+		}
+		inj.Crash()
+		if got := string(readAll(t, inj, "a")); got != "abcd" {
+			t.Fatalf("content: %q", got)
+		}
+	})
+	t.Run("torn", func(t *testing.T) {
+		inj := NewInjector()
+		f, _ := inj.Create("a")
+		inj.SetFailpoint(1, FailTorn)
+		n, err := f.Write([]byte("abcdefgh"))
+		if n != 8 || err != nil {
+			t.Fatalf("torn write must lie about success: n=%d err=%v", n, err)
+		}
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync after torn write: %v", err)
+		}
+		inj.Crash()
+		if got := string(readAll(t, inj, "a")); got != "abcd" {
+			t.Fatalf("content: %q", got)
+		}
+	})
+}
+
+func TestInjectorTruncate(t *testing.T) {
+	inj := NewInjector()
+	f, _ := inj.Create("a")
+	f.Write([]byte("0123456789"))
+	f.Sync()
+	inj.SyncDir()
+	if err := inj.Truncate("a", 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(readAll(t, inj, "a")); got != "0123" {
+		t.Fatalf("after truncate: %q", got)
+	}
+	// Truncation caps durability too: the cut bytes cannot come back.
+	inj.PowerCut(nil)
+	if got := string(readAll(t, inj, "a")); got != "0123" {
+		t.Fatalf("after truncate + power cut: %q", got)
+	}
+	if err := inj.Truncate("a", 99); err == nil {
+		t.Fatal("truncate past EOF accepted")
+	}
+}
+
+func TestDurableLen(t *testing.T) {
+	inj := NewInjector()
+	if inj.DurableLen("a") != -1 {
+		t.Fatal("missing file has a durable length")
+	}
+	f, _ := inj.Create("a")
+	f.Write([]byte("xy"))
+	if inj.DurableLen("a") != -1 {
+		t.Fatal("entry durable before SyncDir")
+	}
+	inj.SyncDir()
+	if got := inj.DurableLen("a"); got != 0 {
+		t.Fatalf("durable len before file sync = %d", got)
+	}
+	f.Sync()
+	if got := inj.DurableLen("a"); got != 2 {
+		t.Fatalf("durable len after sync = %d", got)
+	}
+}

@@ -1,0 +1,210 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+)
+
+// DirState is the durable inventory of a state directory: the
+// checkpoint and segment sequence numbers found on disk, each sorted
+// ascending. Files that match neither naming scheme are ignored.
+type DirState struct {
+	Checkpoints []uint64
+	Segments    []uint64
+}
+
+// ScanDir inventories the state directory.
+func ScanDir(fs FS) (DirState, error) {
+	names, err := fs.ReadDir()
+	if err != nil {
+		return DirState{}, fmt.Errorf("wal: scan state dir: %w", err)
+	}
+	var st DirState
+	for _, name := range names {
+		if seq, ok := ParseCheckpointName(name); ok {
+			st.Checkpoints = append(st.Checkpoints, seq)
+		} else if seq, ok := ParseSegmentName(name); ok {
+			st.Segments = append(st.Segments, seq)
+		}
+	}
+	sort.Slice(st.Checkpoints, func(i, j int) bool { return st.Checkpoints[i] < st.Checkpoints[j] })
+	sort.Slice(st.Segments, func(i, j int) bool { return st.Segments[i] < st.Segments[j] })
+	return st, nil
+}
+
+// Plan picks the recovery point: the newest checkpoint C whose newer
+// segments C+1…max are all present, plus the ordered segment list to
+// replay on top of it. With no usable checkpoint the segments must
+// start at 1 (nothing is deleted before a checkpoint covers it), and
+// everything replays from an empty engine.
+//
+// A gap in the required segment run is unrecoverable (ErrCorrupt):
+// some acknowledged mutations would silently vanish if replay skipped
+// over it.
+func (st DirState) Plan() (ckpt uint64, hasCkpt bool, replay []uint64, err error) {
+	maxSeg := uint64(0)
+	if n := len(st.Segments); n > 0 {
+		maxSeg = st.Segments[n-1]
+	}
+	present := make(map[uint64]bool, len(st.Segments))
+	for _, s := range st.Segments {
+		present[s] = true
+	}
+	run := func(from uint64) []uint64 {
+		if from > maxSeg {
+			return nil
+		}
+		seqs := make([]uint64, 0, maxSeg-from+1)
+		for s := from; s <= maxSeg; s++ {
+			if !present[s] {
+				return nil
+			}
+			seqs = append(seqs, s)
+		}
+		return seqs
+	}
+	for i := len(st.Checkpoints) - 1; i >= 0; i-- {
+		c := st.Checkpoints[i]
+		if c >= maxSeg {
+			return c, true, nil, nil
+		}
+		if seqs := run(c + 1); seqs != nil {
+			return c, true, seqs, nil
+		}
+	}
+	if len(st.Checkpoints) == 0 {
+		// No checkpoint was ever taken (or all were lost — the caller
+		// distinguishes). Replaying from scratch is only sound from
+		// segment 1: every segment's ops build on its predecessor.
+		if len(st.Segments) == 0 {
+			return 0, false, nil, nil
+		}
+		if seqs := run(1); seqs != nil {
+			return 0, false, seqs, nil
+		}
+	}
+	return 0, false, nil, fmt.Errorf("%w: gap in segment sequence %v (checkpoints %v)",
+		ErrCorrupt, st.Segments, st.Checkpoints)
+}
+
+// ReplayStats summarizes one recovery pass.
+type ReplayStats struct {
+	// Segments replayed.
+	Segments int
+	// Records applied across all segments.
+	Records int
+	// TornBytes is how much torn tail was truncated off the final
+	// segment (0 for a clean shutdown).
+	TornBytes int64
+}
+
+// ReplaySegments reads each listed segment in order and applies its
+// ops. Only the last listed segment may have a torn tail — its file is
+// truncated back to the last whole record and replay recovers. Damage
+// anywhere else is ErrCorrupt. An apply error aborts replay: the log
+// no longer matches the state it was logged against.
+func ReplaySegments(fs FS, seqs []uint64, apply func(Op) error) (ReplayStats, error) {
+	var stats ReplayStats
+	for i, seq := range seqs {
+		final := i == len(seqs)-1
+		ops, validSize, tornBytes, err := readSegment(fs, seq, final)
+		if err != nil {
+			return stats, err
+		}
+		if tornBytes > 0 {
+			if err := fs.Truncate(SegmentName(seq), validSize); err != nil {
+				return stats, fmt.Errorf("wal: truncate torn tail of segment %d: %w", seq, err)
+			}
+			stats.TornBytes += tornBytes
+		}
+		for _, op := range ops {
+			if err := apply(op); err != nil {
+				return stats, fmt.Errorf("wal: replay segment %d record: %w", seq, err)
+			}
+			stats.Records++
+		}
+		stats.Segments++
+	}
+	return stats, nil
+}
+
+// readSegment parses one segment. For the final segment a damaged tail
+// yields the ops before the tear plus the offset to truncate back to;
+// tail damage on a non-final segment is an error — with one exception:
+// a file too short to hold even the header is a torn segment
+// *creation* (the header is synced before any append can be
+// acknowledged, and recovery rotation can leave such a husk behind
+// with later segments present), so it carries no ops and no error.
+func readSegment(fs FS, seq uint64, final bool) (ops []Op, validSize, tornBytes int64, err error) {
+	f, err := fs.Open(SegmentName(seq))
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("wal: open segment %d: %w", seq, err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("wal: read segment %d: %w", seq, err)
+	}
+	if len(data) < segmentHeaderLen {
+		if final {
+			return nil, 0, int64(len(data)), nil
+		}
+		return nil, int64(len(data)), 0, nil
+	}
+	fail := func(off int, format string, args ...any) ([]Op, int64, int64, error) {
+		if final {
+			return ops, int64(off), int64(len(data) - off), nil
+		}
+		return nil, 0, 0, fmt.Errorf("%w: segment %d: %s (non-final segment cannot have a torn tail)",
+			ErrCorrupt, seq, fmt.Sprintf(format, args...))
+	}
+	hseq, err := parseSegmentHeader(data[:segmentHeaderLen])
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("segment %d: %w", seq, err)
+	}
+	if hseq != seq {
+		return nil, 0, 0, fmt.Errorf("%w: segment file %d carries header seq %d", ErrCorrupt, seq, hseq)
+	}
+	off := segmentHeaderLen
+	for off < len(data) {
+		rem := len(data) - off
+		if rem < frameHeaderLen {
+			return fail(off, "truncated frame header at offset %d", off)
+		}
+		length := int(binary.LittleEndian.Uint32(data[off:]))
+		if length > MaxRecordLen {
+			// The writer bounds every frame it emits, and a torn write
+			// leaves a prefix — so an implausible length was never valid.
+			return nil, 0, 0, fmt.Errorf("%w: segment %d: record length %d at offset %d exceeds limit",
+				ErrCorrupt, seq, length, off)
+		}
+		end := off + frameHeaderLen + length
+		if end > len(data) {
+			return fail(off, "record at offset %d extends past EOF", off)
+		}
+		wantCRC := binary.LittleEndian.Uint32(data[off+4:])
+		crc := crc32.Update(0, castagnoli, data[off:off+4])
+		crc = crc32.Update(crc, castagnoli, data[off+frameHeaderLen:end])
+		if crc != wantCRC {
+			if end == len(data) {
+				// A whole-looking final record failing its CRC at exact
+				// EOF is the power-cut-mid-write case: torn, not corrupt.
+				return fail(off, "CRC mismatch on final record at offset %d", off)
+			}
+			return nil, 0, 0, fmt.Errorf("%w: segment %d: CRC mismatch at offset %d with %d bytes following",
+				ErrCorrupt, seq, off, len(data)-end)
+		}
+		op, err := decodeOp(data[off+frameHeaderLen : end])
+		if err != nil {
+			// The CRC attested these bytes, so a malformed payload was
+			// written malformed: corruption, not tearing.
+			return nil, 0, 0, fmt.Errorf("segment %d: offset %d: %w", seq, off, err)
+		}
+		ops = append(ops, op)
+		off = end
+	}
+	return ops, int64(off), 0, nil
+}

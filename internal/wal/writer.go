@@ -1,0 +1,189 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy controls when appended records are fsynced — the
+// group-commit knob trading durability lag for throughput.
+//
+// The zero value is the strictest mode: every append is synced before
+// Append returns, so an acknowledged mutation is already durable.
+type SyncPolicy struct {
+	// EveryN syncs after every Nth append. ≤ 1 means every append
+	// (always-sync mode).
+	EveryN int
+	// Interval, if > 0, additionally runs a background flusher that
+	// syncs any unsynced tail at this period, bounding the durability
+	// lag of a quiet log under a large EveryN.
+	Interval time.Duration
+}
+
+// Writer appends records to one log segment.
+//
+// Writer is safe for concurrent use, but appends are serialized
+// internally — callers that need a meaningful "acknowledged" order
+// (the durable engine does) should serialize at their level too.
+//
+// A Writer is poisoned by its first write or sync error: every
+// subsequent Append/Sync returns the same error, because after a
+// failed write the segment's tail is in an unknown state and blindly
+// appending past it could mask the gap. Recovery is reopening the
+// state, which runs torn-tail repair.
+type Writer struct {
+	mu     sync.Mutex
+	f      File
+	fs     FS
+	name   string
+	seq    uint64
+	policy SyncPolicy
+	buf    []byte
+	err    error // poison: first write/sync failure, sticky
+
+	appended atomic.Uint64 // records written to the OS
+	synced   atomic.Uint64 // records known durable (covered by a successful Sync)
+	syncs    atomic.Uint64 // successful fsync calls
+	unsynced int           // appends since the last sync, for EveryN
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// CreateWriter creates the segment file for seq, writes and syncs its
+// header, syncs the directory entry, and returns a Writer appending to
+// it under policy.
+func CreateWriter(fs FS, seq uint64, policy SyncPolicy) (*Writer, error) {
+	name := SegmentName(seq)
+	f, err := fs.Create(name)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create segment %d: %w", seq, err)
+	}
+	if _, err := f.Write(segmentHeader(seq)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: write segment %d header: %w", seq, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: sync segment %d header: %w", seq, err)
+	}
+	if err := fs.SyncDir(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: sync dir after creating segment %d: %w", seq, err)
+	}
+	w := &Writer{f: f, fs: fs, name: name, seq: seq, policy: policy}
+	if policy.Interval > 0 {
+		w.flushStop = make(chan struct{})
+		w.flushDone = make(chan struct{})
+		go w.flushLoop()
+	}
+	return w, nil
+}
+
+// Seq returns the segment's sequence number.
+func (w *Writer) Seq() uint64 { return w.seq }
+
+// Append encodes op, writes its frame, and applies the sync policy.
+// On return with a nil error the record is written; it is *durable*
+// only once covered by a sync (immediately, in always-sync mode).
+func (w *Writer) Append(op Op) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	buf, err := appendFrame(w.buf[:0], op)
+	if err != nil {
+		return err // encoding error: caller bug, does not poison the writer
+	}
+	w.buf = buf
+	if _, err := w.f.Write(buf); err != nil {
+		w.err = fmt.Errorf("wal: append to segment %d: %w", w.seq, err)
+		return w.err
+	}
+	w.appended.Add(1)
+	w.unsynced++
+	if w.policy.EveryN <= 1 || w.unsynced >= w.policy.EveryN {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+// Sync forces any unsynced appends to stable storage.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error {
+	if w.unsynced == 0 {
+		return nil // header was synced at create; nothing new to cover
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("wal: sync segment %d: %w", w.seq, err)
+		return w.err
+	}
+	w.unsynced = 0
+	w.syncs.Add(1)
+	w.synced.Store(w.appended.Load())
+	return nil
+}
+
+// Close stops the background flusher, syncs the tail, and closes the
+// segment file. A poisoned writer still closes its file but reports
+// the poisoning error.
+func (w *Writer) Close() error {
+	if w.flushStop != nil {
+		close(w.flushStop)
+		<-w.flushDone
+		w.flushStop = nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.err
+	if err == nil {
+		err = w.syncLocked()
+	}
+	if cerr := w.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close segment %d: %w", w.seq, cerr)
+	}
+	if w.err == nil {
+		w.err = fmt.Errorf("wal: segment %d writer closed", w.seq)
+	}
+	return err
+}
+
+func (w *Writer) flushLoop() {
+	defer close(w.flushDone)
+	t := time.NewTicker(w.policy.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.flushStop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if w.err == nil && w.unsynced > 0 {
+				w.syncLocked() // error is sticky; next Append reports it
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Appended returns the count of records handed to the OS.
+func (w *Writer) Appended() uint64 { return w.appended.Load() }
+
+// Synced returns the count of records covered by a successful fsync —
+// the durable prefix length the recovery tests assert against.
+func (w *Writer) Synced() uint64 { return w.synced.Load() }
+
+// Syncs returns the number of successful fsync calls (group commit
+// collapses many appends into few of these).
+func (w *Writer) Syncs() uint64 { return w.syncs.Load() }

@@ -6,20 +6,22 @@
 # for the quantized variants and the d=768 high-dim workload, plus
 # p50-ns/p99-ns read-tail-latency-under-mutator for the RWMutex
 # baseline vs the snapshot-isolated sharded engine, plus the
-# end-to-end HTTP serving latency of BenchmarkServerSearch).
+# end-to-end HTTP serving latency of BenchmarkServerSearch and its
+# WAL-backed variants: search overhead with durability attached and
+# the insert path under fsync-always vs group commit).
 #
 # Usage: scripts/bench_trajectory.sh [output.json]
-#   PR        tag for the stacked-PR sequence number   (default: 6)
+#   PR        tag for the stacked-PR sequence number   (default: 9)
 #   BENCHTIME go test -benchtime value                 (default: 1s)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pr="${PR:-8}"
+pr="${PR:-9}"
 out="${1:-BENCH_${pr}.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(go test -run '^$' \
-  -bench '^(BenchmarkQueryK50|BenchmarkKNNSerial|BenchmarkKNNBatch|BenchmarkQueryK50Churned|BenchmarkQueryK50Filtered|BenchmarkQueryK50QuantF32|BenchmarkQueryK50QuantI8|BenchmarkQueryK50HighDim|BenchmarkQueryK50HighDimQuantF32|BenchmarkQueryK50HighDimQuantI8|BenchmarkMixedReadP99|BenchmarkServerSearch)$' \
+  -bench '^(BenchmarkQueryK50|BenchmarkKNNSerial|BenchmarkKNNBatch|BenchmarkQueryK50Churned|BenchmarkQueryK50Filtered|BenchmarkQueryK50QuantF32|BenchmarkQueryK50QuantI8|BenchmarkQueryK50HighDim|BenchmarkQueryK50HighDimQuantF32|BenchmarkQueryK50HighDimQuantI8|BenchmarkMixedReadP99|BenchmarkServerSearch|BenchmarkServerSearchDurable|BenchmarkServerInsertDurable)$' \
   -benchtime "$benchtime" .)"
 echo "$raw"
 echo "$raw" | go run ./cmd/benchjson -pr "$pr" > "$out"

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# crash_smoke.sh — end-to-end crash-recovery smoke of the WAL-backed
+# serving path: generate a dataset, start `pmlsh serve -data-dir` (WAL
+# + background checkpoints), churn it with pmlshload traffic plus
+# directed acknowledged mutations, kill -9 the server mid-flight, then
+# reopen the same state directory and assert
+#
+#   - recovery succeeds and reports replayed state,
+#   - the acknowledged insert is still answerable (search finds it),
+#   - the acknowledged delete stayed deleted (no resurrection),
+#   - the id sequence continues past the pre-crash high-water mark,
+#   - recall against fresh traffic still holds (pmlshload oracle).
+#
+# Usage: scripts/crash_smoke.sh [workdir]
+#   RATE     pmlshload arrival rate  (default: 80/s)
+#   DURATION pmlshload run length    (default: 4s)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+work="${1:-$(mktemp -d)}"
+rate="${RATE:-80}"
+duration="${DURATION:-4s}"
+addr="127.0.0.1:18932"
+base="http://$addr"
+state="$work/state"
+
+cleanup() {
+  [[ -n "${server_pid:-}" ]] && kill "$server_pid" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+go build -o "$work/pmlsh" ./cmd/pmlsh
+go build -o "$work/pmlshload" ./cmd/pmlshload
+go run ./cmd/datagen -dataset Audio -maxn 2000 -out "$work/data.f64" >/dev/null
+
+wait_ready() {
+  for _ in $(seq 1 150); do
+    curl -sf "$base/readyz" >/dev/null 2>&1 && return 0
+    kill -0 "$server_pid" 2>/dev/null || { echo "server died:"; cat "$1"; exit 1; }
+    sleep 0.2
+  done
+  echo "server never became ready:"; cat "$1"; exit 1
+}
+
+echo "== boot: bootstrap WAL state from the dataset"
+"$work/pmlsh" serve -data "$work/data.f64" -data-dir "$state" -shards 4 \
+  -checkpoint-interval 1s -fsync always -addr "$addr" 2>"$work/serve1.log" &
+server_pid=$!
+wait_ready "$work/serve1.log"
+
+dim=$(curl -sf "$base/v1/info" | sed 's/.*"dim":\([0-9]*\).*/\1/')
+probe=$(awk -v d="$dim" 'BEGIN{s="[";for(i=0;i<d;i++)s=s (i?",":"") "123.5";print s "]"}')
+
+echo "== acknowledged mutations the crash must not lose"
+ins_id=$(curl -sf "$base/v1/insert" -d "{\"p\":$probe}" | sed 's/[^0-9]*//g')
+del_id=$(curl -sf "$base/v1/insert" -d "{\"p\":$probe}" | sed 's/[^0-9]*//g')
+curl -sf "$base/v1/delete" -d "{\"id\":$del_id}" >/dev/null
+echo "inserted id=$ins_id, deleted id=$del_id"
+
+echo "== churn under load ($rate/s for $duration)"
+"$work/pmlshload" -url "$base" -data "$work/data.f64" \
+  -rate "$rate" -duration "$duration" -read 0.7 -compact-every 2s
+ids_before=$(curl -sf "$base/v1/info" | sed 's/.*"ids":\([0-9]*\).*/\1/')
+curl -sf "$base/metrics" | grep 'pmlsh_wal_appends_total'
+
+echo "== kill -9 mid-flight"
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+ls "$state"
+
+echo "== reopen the state directory"
+"$work/pmlsh" serve -data-dir "$state" -checkpoint-interval 1s \
+  -fsync always -addr "$addr" 2>"$work/serve2.log" &
+server_pid=$!
+wait_ready "$work/serve2.log"
+grep -q "state recovered" "$work/serve2.log"
+
+echo "== acknowledged insert survived"
+hits=$(curl -sf "$base/v1/search" -d "{\"q\":$probe,\"k\":3}")
+echo "$hits" | grep -q "\"id\":$ins_id" \
+  || { echo "inserted id $ins_id lost after crash: $hits"; exit 1; }
+
+echo "== acknowledged delete stayed deleted"
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/delete" -d "{\"id\":$del_id}")
+[[ "$code" == 400 ]] || { echo "deleted id $del_id resurrected (delete again: $code)"; exit 1; }
+
+echo "== id sequence continues past the pre-crash high-water mark"
+ids_after=$(curl -sf "$base/v1/info" | sed 's/.*"ids":\([0-9]*\).*/\1/')
+new_id=$(curl -sf "$base/v1/insert" -d "{\"p\":$probe}" | sed 's/[^0-9]*//g')
+echo "ids before=$ids_before after=$ids_after, fresh id=$new_id"
+[[ "$ids_after" -ge "$ids_before" ]] \
+  || { echo "id high-water mark went backwards"; exit 1; }
+[[ "$new_id" -ge "$ids_before" ]] \
+  || { echo "fresh insert reused a pre-crash id"; exit 1; }
+
+echo "== recall still holds after recovery"
+"$work/pmlshload" -url "$base" -data "$work/data.f64" \
+  -rate "$rate" -duration "$duration" -read 0.85 -compact-every 2s
+
+echo "== clean shutdown closes the WAL"
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
+grep -q "shutdown complete" "$work/serve2.log"
+
+echo "crash smoke OK ($work)"
