@@ -660,3 +660,103 @@ func BenchmarkKNNBatch(b *testing.B) {
 	}
 	b.ReportMetric(float64(pdc)/float64(b.N), "pdc/op")
 }
+
+// benchQueryK50Metric runs the headline query against a reduced-metric
+// build of the same workload: the reduction (normalize for cosine,
+// dimension augmentation for inner product) happens at build and query
+// time, so any slowdown relative to BenchmarkQueryK50 is the price of
+// the metric itself.
+func benchQueryK50Metric(b *testing.B, m Metric) {
+	w := workload(b)
+	ix, err := Build(w.Dataset.Points, Config{Seed: 5, Metric: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pdc int64
+	for i := 0; i < b.N; i++ {
+		_, st, err := ix.KNNWithStats(w.Queries[i%len(w.Queries)], 50, 1.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pdc += st.ProjectedDistComps
+	}
+	b.ReportMetric(float64(pdc)/float64(b.N), "pdc/op")
+}
+
+// BenchmarkQueryK50Cosine is BenchmarkQueryK50 under the cosine
+// reduction (normalize-on-ingest, L2 internally).
+func BenchmarkQueryK50Cosine(b *testing.B) { benchQueryK50Metric(b, MetricCosine) }
+
+// BenchmarkQueryK50MIP is BenchmarkQueryK50 under the inner-product
+// reduction (augmented dimension, wider DefaultMIPAlpha1 schedule).
+func BenchmarkQueryK50MIP(b *testing.B) { benchQueryK50Metric(b, MetricInnerProduct) }
+
+// jacEnv lazily builds the shared Jaccard corpus once per process:
+// 200 clusters of a base set plus 4 near-duplicate variants, 40
+// tokens each — 1000 sets behind the MinHash band-LSH backend.
+type jacEnv struct {
+	once sync.Once
+	sets [][]uint64
+	ix   *Index
+	err  error
+}
+
+var jenv jacEnv
+
+func jaccardBenchIndex(b *testing.B) (*Index, [][]uint64) {
+	b.Helper()
+	jenv.once.Do(func() {
+		jenv.sets = jaccardCorpus(200, 5, 40, 77)
+		jenv.ix, jenv.err = BuildSets(jenv.sets, Config{Metric: MetricJaccard, Seed: 77})
+	})
+	if jenv.err != nil {
+		b.Fatal(jenv.err)
+	}
+	return jenv.ix, jenv.sets
+}
+
+// BenchmarkJaccardSearch measures one top-10 set query against the
+// MinHash backend: band-bucket probing plus exact-Jaccard rescore.
+func BenchmarkJaccardSearch(b *testing.B) {
+	ix, sets := jaccardBenchIndex(b)
+	ctx := context.Background()
+	queries := make([][]float64, 64)
+	for i := range queries {
+		queries[i] = make([]float64, 0, len(sets[i*5]))
+		for _, tok := range sets[i*5] {
+			queries[i] = append(queries[i], float64(tok))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ix.Search(ctx, queries[i%len(queries)], 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+// BenchmarkTextDedupPairs measures the whole-corpus duplicate sweep:
+// one SearchPairs call over the 1000-set corpus, the operation behind
+// examples/textdedup.
+func BenchmarkTextDedupPairs(b *testing.B) {
+	ix, _ := jaccardBenchIndex(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pairs, err := ix.SearchPairs(ctx, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pairs) == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}

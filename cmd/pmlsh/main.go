@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pmlsh build -data vectors.f64 -index out.pmlsh [-m 15] [-pivots 5] [-quantize none|f32|i8] [-shards 4]
+//	pmlsh build -data vectors.f64 -index out.pmlsh [-m 15] [-pivots 5] [-quantize none|f32|i8] [-shards 4] [-metric l2|cosine|ip]
 //	pmlsh query -index out.pmlsh -k 10 -c 1.5 -point "0.1,0.2,..." [-alpha1 0.2] [-budget 500] [-timeout 1s]
 //	pmlsh cp    -index out.pmlsh -k 10 -c 1.5 [-par] [-timeout 1s]
 //	pmlsh bench -index out.pmlsh -k 10 -c 1.5 -queries 100 [-par] [-quantize none|f32|i8] [-timeout 10s] [-cpuprofile cpu.out] [-memprofile mem.out]
@@ -93,6 +93,7 @@ func runBuild(args []string) error {
 	seed := fs.Int64("seed", 1, "build seed")
 	quantize := fs.String("quantize", "none", "screening codec: none, f32 or i8 (persisted in the index file)")
 	shards := fs.Int("shards", 0, "shard count for snapshot-isolated serving (0 or 1 = single shard; persisted in the index file)")
+	metricFlag := fs.String("metric", "l2", "distance metric: l2, cosine or ip (persisted in the index file)")
 	fs.Parse(args)
 	if *dataPath == "" || *indexPath == "" {
 		return fmt.Errorf("build requires -data and -index")
@@ -101,12 +102,19 @@ func runBuild(args []string) error {
 	if err != nil {
 		return err
 	}
+	mk, err := pmlsh.ParseMetric(*metricFlag)
+	if err != nil {
+		return err
+	}
+	if mk == pmlsh.MetricJaccard {
+		return fmt.Errorf("build indexes vectors; the jaccard metric indexes sets (use the library's BuildSets)")
+	}
 	data, err := readDump(*dataPath)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	ix, err := pmlsh.Build(data, pmlsh.Config{M: *m, NumPivots: *pivots, Seed: *seed, Quantize: qkind, Shards: *shards})
+	ix, err := pmlsh.Build(data, pmlsh.Config{M: *m, NumPivots: *pivots, Seed: *seed, Quantize: qkind, Shards: *shards, Metric: mk})
 	if err != nil {
 		return err
 	}
@@ -527,6 +535,11 @@ func runInfo(args []string) error {
 	fmt.Printf("projected:  %d\n", info.M)
 	fmt.Printf("shards:     %d\n", info.Shards)
 	fmt.Printf("quantize:   %v\n", info.Quantize)
+	fmt.Printf("metric:     %v\n", info.Metric)
+	if info.Metric == pmlsh.MetricJaccard {
+		// No projected space, no χ² interval — nothing more to print.
+		return nil
+	}
 	p, err := ix.DeriveParams(1.5)
 	if err != nil {
 		return err

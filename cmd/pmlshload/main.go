@@ -17,13 +17,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"time"
 
 	"repro/internal/loadgen"
+	"repro/internal/metric"
 )
 
 func main() {
@@ -54,7 +57,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	mk, err := serverMetric(*url)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server metric: %v (oracle scores recall in it)\n", mk)
 	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Metric:          mk,
 		BaseURL:         *url,
 		Rate:            *rate,
 		Duration:        *duration,
@@ -80,6 +89,30 @@ func run(args []string) error {
 		return fmt.Errorf("%d responses were 5xx", rep.Server5xx)
 	}
 	return nil
+}
+
+// serverMetric asks GET /v1/info which distance metric the served
+// index answers in, so the recall oracle scores with the same one.
+func serverMetric(base string) (metric.Kind, error) {
+	resp, err := http.Get(base + "/v1/info")
+	if err != nil {
+		return 0, fmt.Errorf("fetching /v1/info: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET /v1/info: HTTP %d", resp.StatusCode)
+	}
+	var info struct {
+		Metric string `json:"metric"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return 0, fmt.Errorf("decoding /v1/info: %w", err)
+	}
+	mk, err := metric.Parse(info.Metric)
+	if err != nil {
+		return 0, fmt.Errorf("server reports unsupported metric: %w", err)
+	}
+	return mk, nil
 }
 
 func printReport(rep *loadgen.Report) {

@@ -68,6 +68,49 @@
 //	index.ClosestPairsWithStats(k,c) -> index.SearchPairs(ctx, k, WithRatio(c), WithPairStats(&st))
 //	index.ClosestPairsParallel(k, c) -> index.SearchPairs(ctx, k, WithRatio(c), WithParallelVerify())
 //
+// # Metrics
+//
+// The engine is natively Euclidean, and Config.Metric extends it to
+// three more measures over the same index, serving and durability
+// stack. Cosine and inner product are reductions to L2 performed at
+// ingest; Jaccard swaps in a MinHash band-LSH backend behind the same
+// query seam:
+//
+//	MetricL2 (default)  ‖q−x‖; the native engine, byte-identical to
+//	                    earlier versions on disk and in answers
+//	MetricCosine        1 − cos θ ∈ [0, 2]; rows and queries are
+//	                    normalized once, then ‖q−x‖²/2 = 1 − cos θ,
+//	                    so the reduction is an isometry and the
+//	                    c-guarantee transfers (c² in 1 − cos θ)
+//	MetricInnerProduct  −⟨q,x⟩ (more similar = smaller); augmented
+//	                    dimension x → [x/S, √(1−‖x/S‖²)] with S the
+//	                    max build norm, q → [q/‖q‖, 0]. A heuristic
+//	                    reduction — the transform compresses top-rank
+//	                    contrast, so the default radius schedule
+//	                    widens (DefaultMIPAlpha1) and the equivalence
+//	                    suite pins recall ≥ 0.8 vs brute force
+//	MetricJaccard       1 − |A∩B|/|A∪B| over sets of uint64 tokens
+//	                    (BuildSets; queries pass tokens as floats).
+//	                    MinHash signatures of MinHashBands × MinHashRows
+//	                    hashes; a pair with similarity s becomes a
+//	                    candidate with probability 1 − (1 − s^r)^b, and
+//	                    every candidate is rescored with its exact
+//	                    Jaccard distance, so banding affects recall
+//	                    only — reported distances are always exact.
+//	                    MinHashThreshold post-filters by similarity.
+//
+// Reported distances are always native to the metric. The χ²
+// confidence-interval machinery (DeriveParams, α₁/α₂/β derivation)
+// is internal to the L2 reduction: it applies unchanged under cosine
+// and inner product and does not exist for Jaccard, where
+// DeriveParams and SetQuantize return errors. SearchBall takes a
+// native radius for cosine and is rejected for inner product;
+// SearchPairs is rejected for inner product (a closest "pair" has no
+// meaning when similarity is query-relative). Serialized non-L2
+// indexes carry a metric tag (PLS6 envelope); L2 keeps the exact
+// earlier byte format and v1–v5 streams load as L2. See the README's
+// Metrics section for the reduction table and b × r tuning guidance.
+//
 // # Storage layout
 //
 // Build copies the input rows once into a contiguous flat buffer (the

@@ -1,0 +1,170 @@
+// Text near-duplicate detection over the MinHash Jaccard backend:
+// documents become shingle sets (hashed word 3-grams → uint64 tokens),
+// BuildSets indexes them under MetricJaccard, and one SearchPairs
+// query surfaces every near-duplicate pair in the corpus — the banded
+// signatures propose candidate pairs, the exact-Jaccard rescore keeps
+// only real ones.
+//
+// The corpus is synthetic but adversarially shaped: a few thousand
+// distinct "documents" plus planted near-duplicates (each an edited
+// copy of some original — words swapped, dropped, or inserted, ~90%
+// shingle overlap). The example asserts the planted pairs are found
+// (≥ 95%), so it doubles as an executable quality gate for the
+// Jaccard path.
+//
+// Run with: go run ./examples/textdedup
+package main
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"math/rand"
+	"strings"
+
+	pmlsh "repro"
+)
+
+const (
+	nDocs      = 1500 // distinct documents
+	nDups      = 120  // planted near-duplicate copies
+	docWords   = 120  // words per document
+	vocabulary = 4000 // distinct words
+	editProb   = 0.04 // per-word mutation rate for a duplicate
+)
+
+// shingles hashes every word 3-gram of doc to a uint64 token. Sets of
+// shingles are what MinHash compares: two documents' Jaccard
+// similarity over shingles tracks their textual overlap.
+func shingles(words []string) []uint64 {
+	if len(words) < 3 {
+		return nil
+	}
+	out := make([]uint64, 0, len(words)-2)
+	for i := 0; i+3 <= len(words); i++ {
+		h := fnv.New64a()
+		h.Write([]byte(strings.Join(words[i:i+3], " ")))
+		out = append(out, h.Sum64())
+	}
+	return out
+}
+
+// synthDoc draws docWords words from a skewed vocabulary (Zipf-ish via
+// squaring) so shingles repeat across documents like real text.
+func synthDoc(rng *rand.Rand) []string {
+	words := make([]string, docWords)
+	for i := range words {
+		u := rng.Float64()
+		words[i] = fmt.Sprintf("w%d", int(u*u*vocabulary))
+	}
+	return words
+}
+
+// mutate edits a copy of doc: each word is dropped, duplicated, or
+// replaced with probability editProb — the shape of a retyped or
+// lightly revised document.
+func mutate(doc []string, rng *rand.Rand) []string {
+	out := make([]string, 0, len(doc)+8)
+	for _, w := range doc {
+		r := rng.Float64()
+		switch {
+		case r < editProb/3:
+			// dropped
+		case r < 2*editProb/3:
+			out = append(out, w, w)
+		case r < editProb:
+			out = append(out, fmt.Sprintf("w%d", rng.Intn(vocabulary)))
+		default:
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(17))
+
+	docs := make([][]string, nDocs)
+	for i := range docs {
+		docs[i] = synthDoc(rng)
+	}
+	// Plant near-duplicates: doc nDocs+j is an edited copy of original j.
+	type plant struct{ orig, dup int32 }
+	var planted []plant
+	for j := 0; j < nDups; j++ {
+		orig := rng.Intn(nDocs)
+		docs = append(docs, mutate(docs[orig], rng))
+		planted = append(planted, plant{orig: int32(orig), dup: int32(nDocs + j)})
+	}
+
+	sets := make([][]uint64, len(docs))
+	for i, d := range docs {
+		sets[i] = shingles(d)
+	}
+	fmt.Printf("corpus: %d documents (%d planted near-duplicates), ~%d shingles each\n",
+		len(docs), nDups, docWords-2)
+
+	index, err := pmlsh.BuildSets(sets, pmlsh.Config{
+		Metric: pmlsh.MetricJaccard,
+		Seed:   29,
+		// Tune the banding to the duplicate threshold. A ~4% word-edit
+		// rate leaves ~79% shingle similarity; 32 bands of 4 rows put
+		// the collision-probability S-curve's steep part near s ≈ 0.5
+		// (P = 1-(1-s^4)^32 ≈ 0.9998 at s = 0.7), versus only ~0.93 for
+		// the 16×8 default, whose curve is centered for higher
+		// similarities. Same 128-hash signature budget either way.
+		MinHashBands: 32,
+		MinHashRows:  4,
+		// Post-filter: a pair only counts as a duplicate if its exact
+		// Jaccard similarity clears 0.5 — banding proposes, the exact
+		// rescore disposes.
+		MinHashThreshold: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	info := index.Info()
+	fmt.Printf("index: metric=%v ids=%d\n", info.Metric, info.IDs)
+
+	// One closest-pair query over the whole corpus. Ask for more pairs
+	// than were planted: unplanned shingle collisions can tie in.
+	pairs, err := index.SearchPairs(context.Background(), nDups*2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SearchPairs returned %d candidate duplicate pairs\n", len(pairs))
+
+	found := make(map[[2]int32]bool, len(pairs))
+	for _, p := range pairs {
+		found[[2]int32{p.I, p.J}] = true
+	}
+	hits := 0
+	for _, pl := range planted {
+		key := [2]int32{pl.orig, pl.dup}
+		if pl.orig > pl.dup {
+			key = [2]int32{pl.dup, pl.orig}
+		}
+		if found[key] {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(len(planted))
+	fmt.Printf("planted near-duplicates found: %d/%d (%.1f%%)\n",
+		hits, len(planted), 100*rate)
+	for i, p := range pairs[:min(5, len(pairs))] {
+		fmt.Printf("  top pair %d: docs %d & %d, jaccard distance %.3f\n", i+1, p.I, p.J, p.Dist)
+	}
+
+	if rate < 0.95 {
+		log.Fatalf("FAIL: found %.1f%% of planted near-duplicates, need >= 95%%", 100*rate)
+	}
+	fmt.Println("PASS: >= 95% of planted near-duplicates recovered")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/metric"
 	"repro/internal/pmtree"
 	"repro/internal/vec"
 )
@@ -105,6 +106,9 @@ func (ix *Index) ClosestPairsWithStats(k int, c float64) ([]Pair, CPStats, error
 // o.PairStats, when non-nil, receives exact per-query statistics;
 // o.Parallel fans candidate verification across a worker pool.
 func (ix *Index) SearchPairs(ctx context.Context, k int, o SearchOptions) ([]Pair, error) {
+	if ix.metric == metric.Jaccard {
+		return ix.searchPairsJaccard(ctx, k, o)
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	s, err := ix.cpSetup(k, o)
@@ -208,7 +212,7 @@ rounds:
 		r *= s.c
 	}
 	st.ProjectedDistComps = pdc
-	finishPairs(top)
+	finishPairs(top, ix.metric)
 	return top, nil
 }
 
@@ -347,7 +351,7 @@ rounds:
 		r *= s.c
 	}
 	st.ProjectedDistComps = pdc
-	finishPairs(top)
+	finishPairs(top, ix.metric)
 	return top, nil
 }
 
@@ -401,6 +405,9 @@ func (s *cpParams) settled(top []Pair, bound, r float64, scanned, verified int) 
 // nil setup with nil error means the query trivially returns no pairs
 // (fewer than two indexed points).
 func (ix *Index) cpSetup(k int, o SearchOptions) (*cpParams, error) {
+	if ix.metric == metric.InnerProduct {
+		return nil, fmt.Errorf("core: closest-pair queries are not defined for the inner-product metric (pair \"distance\" would mix both norms)")
+	}
 	if ix.tree == nil {
 		return nil, fmt.Errorf("core: ClosestPairs requires the PM-tree index (not the R-tree ablation)")
 	}
@@ -482,9 +489,15 @@ func insertPair(cand []Pair, p Pair, k int) []Pair {
 	return vec.InsertBounded(cand, p, k, func(p Pair) float64 { return p.Dist })
 }
 
-// finishPairs converts the deferred squared distances to distances.
-func finishPairs(pairs []Pair) {
+// finishPairs converts the deferred internal squared distances to the
+// native metric (see finishDist; pairs have no query, so the
+// InnerProduct case — rejected upstream — never reaches here).
+func finishPairs(pairs []Pair, m metric.Kind) {
 	for i := range pairs {
-		pairs[i].Dist = math.Sqrt(pairs[i].Dist)
+		if m == metric.Cosine {
+			pairs[i].Dist = pairs[i].Dist / 2
+		} else {
+			pairs[i].Dist = math.Sqrt(pairs[i].Dist)
+		}
 	}
 }

@@ -23,6 +23,8 @@ import (
 	"sync"
 
 	"repro/internal/lsh"
+	"repro/internal/metric"
+	"repro/internal/minhash"
 	"repro/internal/pmtree"
 	"repro/internal/rtree"
 	"repro/internal/stats"
@@ -33,9 +35,14 @@ import (
 // Default parameter values from the paper's experimental setup
 // (Section 6.1).
 const (
-	DefaultM          = 15 // number of hash functions
-	DefaultPivots     = 5  // PM-tree pivots s
-	DefaultAlpha1     = 1 / math.E
+	DefaultM      = 15 // number of hash functions
+	DefaultPivots = 5  // PM-tree pivots s
+	DefaultAlpha1 = 1 / math.E
+	// DefaultMIPAlpha1 is the confidence width used when Config.Alpha1
+	// is zero and the metric is InnerProduct: the augmented transform
+	// flattens top-rank contrast, so MIP needs a wider radius schedule
+	// to reach comparable recall.
+	DefaultMIPAlpha1  = 0.12
 	DefaultC          = 1.5 // approximation ratio
 	DefaultRMinShrink = 0.9 // "an r_min slightly smaller than r"
 
@@ -105,6 +112,21 @@ type Config struct {
 	// BuildFromStore ignore the field — a bare Index is always one
 	// shard). See Engine for the sharded concurrency model.
 	Shards int
+	// Metric selects the distance metric (the zero value is L2, the
+	// paper's native metric). Cosine and InnerProduct run as reductions
+	// onto the L2 machinery (see package metric); Jaccard is served by
+	// the MinHash band-LSH backend and requires BuildSets — Build
+	// rejects it.
+	Metric metric.Kind
+	// MinHashBands and MinHashRows set the band-LSH signature layout
+	// k = bands × rows for the Jaccard backend (0,0 = 16 × 8). Ignored
+	// by the vector metrics.
+	MinHashBands int
+	MinHashRows  int
+	// MinHashThreshold drops Jaccard results with similarity below the
+	// threshold (distance above 1 − threshold). 0 keeps everything.
+	// Ignored by the vector metrics.
+	MinHashThreshold float64
 }
 
 func (cfg *Config) fillDefaults() {
@@ -116,6 +138,16 @@ func (cfg *Config) fillDefaults() {
 	}
 	if cfg.Alpha1 == 0 {
 		cfg.Alpha1 = DefaultAlpha1
+		if cfg.Metric == metric.InnerProduct {
+			// The augmented-dimension transform compresses the distance
+			// contrast near the top ranks (every reduced point is a unit
+			// vector, and the inner-product gap maps to a second-order
+			// chord-length gap), so the paper-default confidence width
+			// under-collects candidates. A smaller α1 widens the χ²
+			// radius schedule; the c-guarantee is heuristic under MIP
+			// either way (see the package docs), recall is what matters.
+			cfg.Alpha1 = DefaultMIPAlpha1
+		}
 	}
 	if cfg.DistSampleSize == 0 {
 		cfg.DistSampleSize = 50000
@@ -247,11 +279,28 @@ func (a rtAdapter) DistanceComputations() int64 { return a.t.DistanceComputation
 // contiguous store while every caller-held id stays valid.
 type Index struct {
 	cfg  Config
-	data *store.Store // original points, one contiguous buffer
+	data *store.Store // internal-space points, one contiguous buffer
 	proj *lsh.Projection
 	pidx projectedIndex
 	tree *pmtree.Tree // nil when UseRTree is set
+
+	// dim is the dimensionality of the internal (reduced) space the
+	// store, projection and tree operate in; ndim is the native
+	// dimensionality callers see. They coincide except under the
+	// InnerProduct reduction, whose augmented transform adds one
+	// coordinate (dim == ndim + 1).
 	dim  int
+	ndim int
+
+	// metric is the native metric this index serves (metric.L2 unless
+	// built otherwise); mipScale is the InnerProduct reduction's
+	// build-time norm bound S (0 for every other metric); mh is the
+	// MinHash backend and is non-nil exactly when metric is Jaccard —
+	// then every other indexing field above is nil/zero and the public
+	// methods delegate (see jaccard.go).
+	metric   metric.Kind
+	mipScale float64
+	mh       *minhash.Index
 
 	// rowOf maps an assigned id to its current row in data (-1 once
 	// deleted). len(rowOf) is the id space: the next Insert gets id
@@ -344,22 +393,138 @@ const (
 
 // Build constructs the index over data. The rows are copied once into
 // a contiguous store; the input slices are not retained and may be
-// mutated afterwards.
+// mutated afterwards. Under the Cosine and InnerProduct metrics the
+// rows are first reduced to the internal L2 space (see package
+// metric); Jaccard data is set-shaped and must go through BuildSets.
 func Build(data [][]float64, cfg Config) (*Index, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("core: Build requires a non-empty dataset")
 	}
-	s, err := store.FromRows(data)
+	if !cfg.Metric.Valid() {
+		return nil, fmt.Errorf("core: unknown metric %d", uint8(cfg.Metric))
+	}
+	if cfg.Metric == metric.Jaccard {
+		return nil, fmt.Errorf("core: the jaccard metric indexes sets, not vectors; use BuildSets")
+	}
+	rows, scale, err := reduceRows(data, cfg.Metric)
+	if err != nil {
+		return nil, err
+	}
+	s, err := store.FromRows(rows)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return BuildFromStore(s, cfg)
+	return buildInternal(s, cfg, len(data[0]), scale)
+}
+
+// reduceRows maps native-metric rows into the internal L2 space:
+// Cosine normalizes each row (zero rows are rejected — they have no
+// direction), InnerProduct applies the augmented-dimension transform
+// x → [x/S, √(1−‖x/S‖²)] with S the largest row norm, and L2 returns
+// the input untouched. The returned scale is S for InnerProduct and 0
+// otherwise.
+func reduceRows(data [][]float64, m metric.Kind) ([][]float64, float64, error) {
+	switch m {
+	case metric.L2:
+		return data, 0, nil
+	case metric.Cosine:
+		out := make([][]float64, len(data))
+		for i, row := range data {
+			r, err := normalizeRow(row)
+			if err != nil {
+				return nil, 0, fmt.Errorf("row %d: %w", i, err)
+			}
+			out[i] = r
+		}
+		return out, 0, nil
+	case metric.InnerProduct:
+		scale := 0.0
+		for i, row := range data {
+			n := vec.Norm(row)
+			if math.IsInf(n, 0) || math.IsNaN(n) {
+				return nil, 0, fmt.Errorf("core: row %d has non-finite norm", i)
+			}
+			scale = math.Max(scale, n)
+		}
+		if scale == 0 {
+			return nil, 0, fmt.Errorf("core: inner-product build requires at least one non-zero row")
+		}
+		out := make([][]float64, len(data))
+		for i, row := range data {
+			out[i] = augmentRow(row, scale)
+		}
+		return out, scale, nil
+	}
+	return nil, 0, fmt.Errorf("core: metric %v is not a vector reduction", m)
+}
+
+// normalizeRow returns row scaled to unit L2 norm (a copy).
+func normalizeRow(row []float64) ([]float64, error) {
+	n := vec.Norm(row)
+	if n == 0 || math.IsInf(n, 0) || math.IsNaN(n) {
+		return nil, fmt.Errorf("core: cosine metric rejects vectors with norm %v — no direction", n)
+	}
+	out := make([]float64, len(row))
+	for j, v := range row {
+		out[j] = v / n
+	}
+	return out, nil
+}
+
+// augmentRow applies the MIP transform: [x/S, √(max(0, 1−‖x/S‖²))].
+// The clamp only absorbs float rounding — callers verify ‖x‖ ≤ S.
+func augmentRow(row []float64, scale float64) []float64 {
+	out := make([]float64, len(row)+1)
+	u2 := 0.0
+	for j, v := range row {
+		s := v / scale
+		out[j] = s
+		u2 += s * s
+	}
+	out[len(row)] = math.Sqrt(math.Max(0, 1-u2))
+	return out
+}
+
+// reducePoint maps one native-metric row into the index's internal
+// space (see reduceRows). Under InnerProduct, rows whose norm exceeds
+// the build-time scale S are rejected — the augmented coordinate
+// would be imaginary — so callers must rebuild to admit longer
+// vectors (a tiny relative tolerance absorbs float rounding).
+func (ix *Index) reducePoint(p []float64) ([]float64, error) {
+	switch ix.metric {
+	case metric.L2:
+		return p, nil
+	case metric.Cosine:
+		return normalizeRow(p)
+	case metric.InnerProduct:
+		n := vec.Norm(p)
+		if math.IsInf(n, 0) || math.IsNaN(n) {
+			return nil, fmt.Errorf("core: point has non-finite norm")
+		}
+		if n > ix.mipScale*(1+1e-12) {
+			return nil, fmt.Errorf("core: inner-product insert norm %v exceeds the build-time scale %v; rebuild to admit longer vectors", n, ix.mipScale)
+		}
+		return augmentRow(p, ix.mipScale), nil
+	}
+	return nil, fmt.Errorf("core: metric %v is not a vector reduction", ix.metric)
 }
 
 // BuildFromStore constructs the index directly over the rows of s,
 // which is adopted as the index's dataset without copying. The caller
-// must not append to or mutate s afterwards.
+// must not append to or mutate s afterwards. Only the L2 metric is
+// supported — the reductions must transform rows at ingest, which a
+// pre-built store forbids; use Build (or BuildSets for Jaccard).
 func BuildFromStore(s *store.Store, cfg Config) (*Index, error) {
+	if cfg.Metric != metric.L2 {
+		return nil, fmt.Errorf("core: BuildFromStore supports only the l2 metric (got %v); use Build", cfg.Metric)
+	}
+	return buildInternal(s, cfg, s.Dim(), 0)
+}
+
+// buildInternal builds over a store already holding internal-space
+// rows. ndim is the native dimensionality (== s.Dim() except for the
+// InnerProduct augmentation); scale is the MIP norm bound S.
+func buildInternal(s *store.Store, cfg Config, ndim int, scale float64) (*Index, error) {
 	if s.Len() == 0 {
 		return nil, fmt.Errorf("core: Build requires a non-empty dataset")
 	}
@@ -444,16 +609,19 @@ func BuildFromStore(s *store.Store, cfg Config) (*Index, error) {
 		rowOf[i] = int32(i)
 	}
 	ix := &Index{
-		cfg:   cfg,
-		data:  s,
-		proj:  proj,
-		pidx:  pidx,
-		tree:  tree,
-		dim:   dim,
-		rowOf: rowOf,
-		t:     t,
-		chi:   chi,
-		kappa: kappa,
+		cfg:      cfg,
+		data:     s,
+		proj:     proj,
+		pidx:     pidx,
+		tree:     tree,
+		dim:      dim,
+		ndim:     ndim,
+		metric:   cfg.Metric,
+		mipScale: scale,
+		rowOf:    rowOf,
+		t:        t,
+		chi:      chi,
+		kappa:    kappa,
 	}
 	ix.sampleDistanceDistribution()
 	return ix, nil
@@ -469,8 +637,15 @@ func BuildFromStore(s *store.Store, cfg Config) (*Index, error) {
 // live points replace random entries of the sample, so the
 // distribution tracks drift without a full resample.
 func (ix *Index) Insert(p []float64) (int32, error) {
-	if len(p) != ix.dim {
-		return 0, fmt.Errorf("core: point has dimension %d, index expects %d", len(p), ix.dim)
+	if ix.metric == metric.Jaccard {
+		return ix.insertJaccard(p)
+	}
+	if len(p) != ix.ndim {
+		return 0, fmt.Errorf("core: point has dimension %d, index expects %d", len(p), ix.ndim)
+	}
+	p, err := ix.reducePoint(p)
+	if err != nil {
+		return 0, err
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -533,6 +708,9 @@ func replaceSorted(s []float64, j int, d float64) {
 // per-dimension slack. SetQuantize takes the writer lock; queries
 // before and after answer identically — only screening work changes.
 func (ix *Index) SetQuantize(kind store.QuantKind) error {
+	if ix.metric == metric.Jaccard {
+		return fmt.Errorf("core: the jaccard backend stores sets, not vectors; quantized screening does not apply")
+	}
 	switch kind {
 	case store.QuantNone, store.QuantF32, store.QuantI8:
 	default:
@@ -547,6 +725,9 @@ func (ix *Index) SetQuantize(kind store.QuantKind) error {
 
 // Quantize reports the screening codec the index currently maintains.
 func (ix *Index) Quantize() store.QuantKind {
+	if ix.metric == metric.Jaccard {
+		return store.QuantNone
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.data.Quantize()
@@ -559,6 +740,9 @@ func (ix *Index) Quantize() store.QuantKind {
 // returning. Delete takes the writer lock and may run concurrently
 // with queries and other mutations.
 func (ix *Index) Delete(id int32) error {
+	if ix.metric == metric.Jaccard {
+		return ix.mh.Delete(id)
+	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if id < 0 || int(id) >= len(ix.rowOf) {
@@ -591,6 +775,9 @@ func (ix *Index) Delete(id int32) error {
 // the writer lock and may run concurrently with queries and other
 // mutations.
 func (ix *Index) Compact() error {
+	if ix.metric == metric.Jaccard {
+		return ix.mh.Compact()
+	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	return ix.compactLocked()
@@ -738,6 +925,9 @@ func (ix *Index) distQuantile(p float64) float64 {
 // c = 1.5, Section 6.1); see the comment in BuildFromStore.
 // Config.Beta, when set, overrides β entirely.
 func (ix *Index) DeriveParams(c float64) (Params, error) {
+	if ix.metric == metric.Jaccard {
+		return Params{}, fmt.Errorf("core: the jaccard backend has no χ² confidence parameters")
+	}
 	if c <= 1 {
 		return Params{}, fmt.Errorf("core: approximation ratio c must exceed 1, got %v", c)
 	}
@@ -759,6 +949,9 @@ func (ix *Index) DeriveParams(c float64) (Params, error) {
 // With no deletions this equals the dataset cardinality; use LiveLen
 // for the live count under churn.
 func (ix *Index) Len() int {
+	if ix.metric == metric.Jaccard {
+		return ix.mh.Len()
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return len(ix.rowOf)
@@ -766,6 +959,9 @@ func (ix *Index) Len() int {
 
 // LiveLen returns the number of live (not deleted) points.
 func (ix *Index) LiveLen() int {
+	if ix.metric == metric.Jaccard {
+		return ix.mh.LiveLen()
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.data.Live()
@@ -774,6 +970,9 @@ func (ix *Index) LiveLen() int {
 // Dead returns the number of tombstoned storage rows awaiting Compact
 // (deleted points whose slots have not yet been recycled or repacked).
 func (ix *Index) Dead() int {
+	if ix.metric == metric.Jaccard {
+		return ix.mh.Dead()
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.data.Len() - ix.data.Live()
@@ -782,6 +981,9 @@ func (ix *Index) Dead() int {
 // Compactions returns the number of Compact operations (explicit and
 // auto-triggered) completed since this Index was built or loaded.
 func (ix *Index) Compactions() int64 {
+	if ix.metric == metric.Jaccard {
+		return int64(ix.mh.Compactions())
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.compactions
@@ -790,13 +992,25 @@ func (ix *Index) Compactions() int64 {
 // IsLive reports whether id refers to a live (inserted and not yet
 // deleted) point.
 func (ix *Index) IsLive(id int32) bool {
+	if ix.metric == metric.Jaccard {
+		return ix.mh.IsLive(id)
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return id >= 0 && int(id) < len(ix.rowOf) && ix.rowOf[id] >= 0
 }
 
-// Dim returns the original dimensionality.
-func (ix *Index) Dim() int { return ix.dim }
+// Dim returns the native dimensionality callers index and query with
+// (the internal reduced space may differ; see Index.dim). The Jaccard
+// backend stores variable-length sets and reports 0.
+func (ix *Index) Dim() int { return ix.ndim }
+
+// Metric returns the native metric this index serves.
+func (ix *Index) Metric() metric.Kind { return ix.metric }
+
+// MIPScale returns the InnerProduct reduction's build-time norm bound
+// S (0 for every other metric).
+func (ix *Index) MIPScale() float64 { return ix.mipScale }
 
 // M returns the projected dimensionality (number of hash functions).
 func (ix *Index) M() int { return ix.cfg.M }

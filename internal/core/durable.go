@@ -186,7 +186,7 @@ func (e *Engine) applyLogged(op wal.Op) error {
 func (d *durable) insert(e *Engine, p []float64) (int32, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if len(p) != e.dim {
+	if e.metric.Vector() && len(p) != e.dim {
 		return 0, fmt.Errorf("core: point has dimension %d, index expects %d", len(p), e.dim)
 	}
 	// The id Insert will assign is fully determined here: d.mu is the

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metric"
 	"repro/internal/store"
 )
 
@@ -52,6 +53,9 @@ import (
 type Engine struct {
 	shards []*shard
 	dim    int
+	// metric is the native metric every shard serves (newEngine rejects
+	// mixed-metric shard sets, so one tag describes the whole engine).
+	metric metric.Kind
 
 	// rr routes Insert round-robin: the next global id is (total ever
 	// assigned), and its shard is that value mod N. Concurrent inserts
@@ -181,6 +185,12 @@ func cloneIndex(ix *Index) (*Index, error) {
 // shards share cfg.Seed, so they project into the same m-dimensional
 // space — required for cross-shard closest-pair enumeration.
 func BuildEngine(data [][]float64, cfg Config) (*Engine, error) {
+	if !cfg.Metric.Valid() {
+		return nil, fmt.Errorf("core: unknown metric %d", uint8(cfg.Metric))
+	}
+	if cfg.Metric == metric.Jaccard {
+		return nil, fmt.Errorf("core: the jaccard metric indexes sets, not vectors; use BuildSetsEngine")
+	}
 	n := cfg.Shards
 	if n == 0 {
 		n = 1
@@ -200,12 +210,37 @@ func BuildEngine(data [][]float64, cfg Config) (*Engine, error) {
 		}
 		inners[0] = ix
 	} else {
+		// The metric reduction runs once over the whole dataset before
+		// sharding: the InnerProduct scale S is a global property (each
+		// shard reducing its own slice would put shards in incompatible
+		// internal spaces and break cross-shard merging).
+		ndim := len(data[0])
+		scale := 0.0
+		reduced := cfg.Metric != metric.L2
+		if reduced {
+			var err error
+			data, scale, err = reduceRows(data, cfg.Metric)
+			if err != nil {
+				return nil, err
+			}
+		}
 		for s := 0; s < n; s++ {
 			rows := make([][]float64, 0, (len(data)+n-1-s)/n)
 			for i := s; i < len(data); i += n {
 				rows = append(rows, data[i])
 			}
-			ix, err := Build(rows, cfg)
+			var ix *Index
+			var err error
+			if reduced {
+				var st *store.Store
+				st, err = store.FromRows(rows)
+				if err != nil {
+					return nil, fmt.Errorf("core: %w", err)
+				}
+				ix, err = buildInternal(st, cfg, ndim, scale)
+			} else {
+				ix, err = Build(rows, cfg)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -215,14 +250,65 @@ func BuildEngine(data [][]float64, cfg Config) (*Engine, error) {
 	return newEngine(inners)
 }
 
+// BuildSetsEngine constructs a sharded Jaccard engine over
+// uint64-token sets: set i becomes global id i on shard i mod N (the
+// same striping as BuildEngine). Every shard shares cfg.Seed, so all
+// shards hash bands into one space — required for the cross-shard
+// pair join.
+func BuildSetsEngine(sets [][]uint64, cfg Config) (*Engine, error) {
+	if cfg.Metric != metric.Jaccard {
+		return nil, fmt.Errorf("core: BuildSetsEngine serves the jaccard metric, not %v; use BuildEngine for vector data", cfg.Metric)
+	}
+	n := cfg.Shards
+	if n == 0 {
+		n = 1
+	}
+	if n < 0 || n > MaxShards {
+		return nil, fmt.Errorf("core: Shards must be in [0, %d], got %d", MaxShards, cfg.Shards)
+	}
+	if len(sets) < n {
+		return nil, fmt.Errorf("core: %d shards need at least %d sets, got %d", n, n, len(sets))
+	}
+	cfg.Shards = 0
+	inners := make([]*Index, n)
+	for s := 0; s < n; s++ {
+		rows := make([][]uint64, 0, (len(sets)+n-1-s)/n)
+		for i := s; i < len(sets); i += n {
+			rows = append(rows, sets[i])
+		}
+		ix, err := BuildSets(rows, cfg)
+		if err != nil {
+			return nil, err
+		}
+		inners[s] = ix
+	}
+	return newEngine(inners)
+}
+
 // newEngine assembles an engine from per-shard indexes (local row i of
 // shard s is global id i·N + s).
 func newEngine(inners []*Index) (*Engine, error) {
-	e := &Engine{shards: make([]*shard, len(inners)), dim: inners[0].Dim()}
+	e := &Engine{
+		shards: make([]*shard, len(inners)),
+		dim:    inners[0].Dim(),
+		metric: inners[0].Metric(),
+	}
 	total := 0
 	for s, ix := range inners {
+		if ix.Metric() != e.metric {
+			return nil, fmt.Errorf("core: shard %d serves metric %v, shard 0 serves %v — mixed-metric engines are not supported", s, ix.Metric(), e.metric)
+		}
 		if ix.Dim() != e.dim {
 			return nil, fmt.Errorf("core: shard %d has dimension %d, shard 0 has %d", s, ix.Dim(), e.dim)
+		}
+		if e.metric == metric.InnerProduct && ix.MIPScale() != inners[0].MIPScale() {
+			return nil, fmt.Errorf("core: shard %d has inner-product scale %v, shard 0 has %v — shards must share one build-time scale", s, ix.MIPScale(), inners[0].MIPScale())
+		}
+		if e.metric == metric.Jaccard {
+			a, b := ix.mh, inners[0].mh
+			if a.Seed() != b.Seed() || a.Bands() != b.Bands() || a.Rows() != b.Rows() || a.Threshold() != b.Threshold() {
+				return nil, fmt.Errorf("core: shard %d's minhash layout (bands %d × rows %d, seed %d, threshold %v) differs from shard 0's — shards must share one band space", s, a.Bands(), a.Rows(), a.Seed(), a.Threshold())
+			}
 		}
 		sh, err := newShard(ix)
 		if err != nil {
@@ -259,7 +345,9 @@ func (e *Engine) Insert(p []float64) (int32, error) {
 // insertMem is the in-memory insert: the non-durable path, and what
 // both live durable inserts and WAL replay apply.
 func (e *Engine) insertMem(p []float64) (int32, error) {
-	if len(p) != e.dim {
+	// Jaccard "points" are variable-length token sets (e.dim is 0);
+	// the shard's Insert validates them.
+	if e.metric.Vector() && len(p) != e.dim {
 		return 0, fmt.Errorf("core: point has dimension %d, index expects %d", len(p), e.dim)
 	}
 	n := len(e.shards)
@@ -380,8 +468,12 @@ func (e *Engine) LiveLen() int {
 // from the same published snapshot), so invariants like Live ≤ IDs and
 // Dead ≤ IDs − Live hold even while mutations run.
 type EngineInfo struct {
-	// Dim is the original dimensionality; M the projected one.
+	// Dim is the original dimensionality; M the projected one. Both
+	// are 0 for the Jaccard backend (variable-length sets, no
+	// projection).
 	Dim, M int
+	// Metric is the native metric every shard serves.
+	Metric metric.Kind
 	// Shards is the shard count (1 unless built with Config.Shards > 1).
 	Shards int
 	// IDs is the size of the global id space: ids ever assigned.
@@ -408,6 +500,7 @@ func (e *Engine) Info() EngineInfo {
 	info := EngineInfo{
 		Dim:      e.dim,
 		M:        pins[0].ix.M(),
+		Metric:   e.metric,
 		Shards:   len(e.shards),
 		Quantize: pins[0].ix.Quantize(),
 	}
@@ -431,8 +524,12 @@ func (e *Engine) IsLive(gid int32) bool {
 	return h.ix.IsLive(local)
 }
 
-// Dim returns the original dimensionality.
+// Dim returns the original dimensionality (0 for the Jaccard
+// backend, whose sets have no fixed dimensionality).
 func (e *Engine) Dim() int { return e.dim }
+
+// Metric returns the native metric every shard serves.
+func (e *Engine) Metric() metric.Kind { return e.metric }
 
 // M returns the projected dimensionality. Immutable after build and
 // identical across shards.

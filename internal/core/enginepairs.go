@@ -6,6 +6,8 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/metric"
+	"repro/internal/minhash"
 	"repro/internal/pmtree"
 	"repro/internal/vec"
 )
@@ -33,6 +35,11 @@ func (e *Engine) SearchPairs(ctx context.Context, k int, o SearchOptions) ([]Pai
 		h := e.shards[0].pin()
 		defer h.unpin()
 		return h.ix.SearchPairs(ctx, k, o)
+	}
+	if e.metric == metric.Jaccard {
+		pins := e.pinAll()
+		defer unpinAll(pins)
+		return searchPairsJaccardSharded(ctx, pins, k, o)
 	}
 	pins := e.pinAll()
 	defer unpinAll(pins)
@@ -77,6 +84,9 @@ type cpSharded struct {
 // A nil setup with nil error means the query trivially returns no
 // pairs.
 func (e *Engine) cpSetupSharded(k int, o SearchOptions, pins []*half) (*cpSharded, error) {
+	if e.metric == metric.InnerProduct {
+		return nil, fmt.Errorf("core: closest-pair queries are not defined for the inner-product metric (pair \"distance\" would mix both norms)")
+	}
 	for _, h := range pins {
 		if h.ix.tree == nil {
 			return nil, fmt.Errorf("core: ClosestPairs requires the PM-tree index (not the R-tree ablation)")
@@ -346,6 +356,97 @@ rounds:
 		r *= s.c
 	}
 	st.ProjectedDistComps = pdc
-	finishPairs(top)
+	finishPairs(top, s.pins[0].ix.metric)
+	return top, nil
+}
+
+// searchPairsJaccardSharded answers a closest-pair request over N > 1
+// MinHash shards. Every shard shares one minhash seed (BuildSetsEngine
+// guarantees it), so all shards' band b buckets live in one hash
+// space: two sets — same shard or not — land in the same merged
+// bucket exactly when their band-b signatures agree. The join
+// therefore merges each band's buckets across shards, generates each
+// unordered candidate pair once, rescores it with the exact Jaccard
+// of the stored token sets, and keeps the top k by (distance, I, J) —
+// the same candidate population a single-shard index over the union
+// would surface.
+func searchPairsJaccardSharded(ctx context.Context, pins []*half, k int, o SearchOptions) ([]Pair, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	nsh := int32(len(pins))
+	mh0 := pins[0].ix.mh
+	bands := mh0.Bands()
+	threshold := mh0.Threshold()
+	st := CPStats{Rounds: 1}
+	seen := make(map[[2]int32]struct{})
+	cands := make([][2]int32, 0, 256)
+	for b := 0; b < bands; b++ {
+		// Merge band b's buckets across shards: key → global ids.
+		merged := make(map[uint64][]int32)
+		for s, h := range pins {
+			h.ix.mh.ForEachBucket(b, func(key uint64, ids []int32) {
+				for _, local := range ids {
+					merged[key] = append(merged[key], local*nsh+int32(s))
+				}
+			})
+		}
+		for _, ids := range merged {
+			if len(ids) < 2 {
+				continue
+			}
+			for i := 0; i < len(ids); i++ {
+				for j := i + 1; j < len(ids); j++ {
+					a, c := ids[i], ids[j]
+					if c < a {
+						a, c = c, a
+					}
+					key := [2]int32{a, c}
+					if _, ok := seen[key]; ok {
+						continue
+					}
+					seen[key] = struct{}{}
+					cands = append(cands, key)
+				}
+			}
+		}
+	}
+	st.Enumerated = len(cands)
+	// Deterministic rescore order (map iteration above is not).
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i][0] != cands[j][0] {
+			return cands[i][0] < cands[j][0]
+		}
+		return cands[i][1] < cands[j][1]
+	})
+	set := func(gid int32) []uint64 {
+		return pins[gid%nsh].ix.mh.Set(gid / nsh)
+	}
+	top := make([]Pair, 0, k)
+	for n, cand := range cands {
+		if n%cpBatchSize == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
+		if o.Filter != nil && !(o.Filter(cand[0]) && o.Filter(cand[1])) {
+			continue
+		}
+		if o.Budget > 0 && st.Verified >= o.Budget {
+			break
+		}
+		st.Verified++
+		sim := minhash.Jaccard(set(cand[0]), set(cand[1]))
+		if sim < threshold {
+			continue
+		}
+		top = insertPair(top, Pair{I: cand[0], J: cand[1], Dist: 1 - sim}, k)
+	}
+	if o.PairStats != nil {
+		*o.PairStats = st
+	}
 	return top, nil
 }

@@ -9,7 +9,9 @@ import (
 
 // pls5Magic heads the sharded container format: "PLS5", a uint32 shard
 // count, then each shard as a uint64 byte length followed by that
-// shard's complete single-index stream (PLS4). The length prefixes
+// shard's complete single-index stream (PLS4, or a PLS6 envelope for
+// non-L2 metrics — newEngine rejects shards whose metrics disagree,
+// so a mixed container fails to load). The length prefixes
 // exist because Load buffers its reader and may consume past the end
 // of one shard's stream — LoadEngine hands each inner Load an
 // io.LimitReader so over-reads stop at the shard boundary.

@@ -1,7 +1,7 @@
 package core
 
 // Native fuzz target for index deserialization: corrupt or truncated
-// v1–v5 streams must produce an error, never a panic or an
+// v1–v6 streams must produce an error, never a panic or an
 // unbounded allocation. The seed corpus (testdata/fuzz/FuzzLoad plus
 // the f.Add seeds below) contains genuine v1–v5 streams — including a
 // churned v3 with tombstones and retired ids, a quantized v4 with a
@@ -15,6 +15,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/metric"
 	"repro/internal/store"
 )
 
@@ -76,6 +77,42 @@ func fuzzStreams(tb testing.TB) [][]byte {
 		}
 		out = append(out, ebuf.Bytes())
 	}
+	// PLS6 metric-tagged envelopes: the metric byte, the MIP scale
+	// field, and the MinHash PMH1 stream are new attack surface.
+	for _, mk := range []metric.Kind{metric.Cosine, metric.InnerProduct} {
+		mix, err := Build(data, Config{M: 3, NumPivots: 2, Seed: 7, DistSampleSize: 16, Metric: mk})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		var mbuf bytes.Buffer
+		if _, err := mix.WriteTo(&mbuf); err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, mbuf.Bytes())
+	}
+	sets := make([][]uint64, 12)
+	for i := range sets {
+		sets[i] = []uint64{uint64(i), uint64(i + 1), uint64(2*i + 7), 1 << 20}
+	}
+	six, err := BuildSets(sets, Config{Metric: metric.Jaccard, Seed: 7, MinHashBands: 4, MinHashRows: 2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var sbuf bytes.Buffer
+	if _, err := six.WriteTo(&sbuf); err != nil {
+		tb.Fatal(err)
+	}
+	out = append(out, sbuf.Bytes())
+	// A PLS5 container whose shards are PLS6 cosine streams.
+	ceng, err := BuildEngine(data, Config{M: 3, NumPivots: 2, Seed: 7, DistSampleSize: 16, Shards: 2, Metric: metric.Cosine})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var cbuf bytes.Buffer
+	if _, err := ceng.WriteTo(&cbuf); err != nil {
+		tb.Fatal(err)
+	}
+	out = append(out, cbuf.Bytes())
 	return out
 }
 
@@ -93,16 +130,29 @@ func FuzzLoad(f *testing.F) {
 	f.Add([]byte("PLS1garbage"))
 	f.Add([]byte("PLS5"))
 	f.Add([]byte{'P', 'L', 'S', '5', 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte("PLS6"))                          // envelope with no metric byte
+	f.Add([]byte{'P', 'L', 'S', '6', 0xff})        // unknown metric tag
+	f.Add([]byte{'P', 'L', 'S', '6', 0, 'P', 'L'}) // l2 never uses the envelope
 
 	f.Fuzz(func(t *testing.T, stream []byte) {
 		// LoadEngine accepts every on-disk shape — bare PLS1–PLS4
-		// streams and sharded PLS5 containers alike.
+		// streams, sharded PLS5 containers and PLS6 envelopes alike.
 		eng, err := LoadEngine(bytes.NewReader(stream))
 		if err != nil {
 			return
 		}
-		// A stream that loads must yield a queryable engine.
+		// A stream that loads must yield a queryable engine. The zero
+		// vector has no direction, so the reduced metrics get a query
+		// they accept.
 		q := make([]float64, eng.Dim())
+		switch eng.Metric() {
+		case metric.Jaccard:
+			q = []float64{1, 2, 3} // a token set; Dim() is 0 for sets
+		case metric.Cosine, metric.InnerProduct:
+			for i := range q {
+				q[i] = 1
+			}
+		}
 		if _, err := eng.Search(context.Background(), q, 3, SearchOptions{C: 1.5}); err != nil {
 			t.Fatalf("loaded engine cannot answer: %v", err)
 		}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/metric"
 	"repro/internal/vec"
 )
 
@@ -108,9 +109,55 @@ func (ix *Index) deriveParamsOpt(c, alpha1 float64) (Params, error) {
 // distance. Cancellation is checked between range-expansion rounds, so
 // a canceled request stops doing tree work and returns ctx.Err().
 func (ix *Index) Search(ctx context.Context, q []float64, k int, o SearchOptions) ([]Result, error) {
+	if ix.metric == metric.Jaccard {
+		return ix.searchJaccard(ctx, q, k, o)
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.searchLocked(ctx, q, k, o)
+}
+
+// reduceQuery maps a native-metric query into the internal L2 space
+// (see package metric). The returned scale is what finishDist needs
+// to convert internal squared distances back to the native metric:
+// ‖q‖·S under InnerProduct, unused otherwise.
+func (ix *Index) reduceQuery(q []float64) ([]float64, float64, error) {
+	switch ix.metric {
+	case metric.L2:
+		return q, 0, nil
+	case metric.Cosine:
+		qi, err := normalizeRow(q)
+		return qi, 0, err
+	case metric.InnerProduct:
+		n := vec.Norm(q)
+		if n == 0 || math.IsInf(n, 0) || math.IsNaN(n) {
+			return nil, 0, fmt.Errorf("core: inner-product query norm %v has no direction", n)
+		}
+		qi := make([]float64, len(q)+1) // augmented coordinate stays 0
+		for i, v := range q {
+			qi[i] = v / n
+		}
+		return qi, n * ix.mipScale, nil
+	}
+	return nil, 0, fmt.Errorf("core: metric %v is not a vector reduction", ix.metric)
+}
+
+// finishDist converts one internal squared distance to the reported
+// native value. Every conversion is strictly increasing in d², so
+// top-k contents, merge order and tie-breaks are decided in internal
+// space and survive the conversion unchanged:
+//
+//	L2:           √d²
+//	Cosine:       d²/2          (= 1 − cosθ for unit vectors)
+//	InnerProduct: (d²/2 − 1)·‖q‖·S  (= −⟨q,x⟩, smaller = better)
+func (ix *Index) finishDist(d2, qscale float64) float64 {
+	switch ix.metric {
+	case metric.Cosine:
+		return d2 / 2
+	case metric.InnerProduct:
+		return (d2/2 - 1) * qscale
+	}
+	return math.Sqrt(d2)
 }
 
 // searchLocked is Algorithm 2 with mu already held (reader side). It
@@ -140,11 +187,15 @@ func (ix *Index) Search(ctx context.Context, q []float64, k int, o SearchOptions
 // so overlapping queries never pollute each other's counters.
 func (ix *Index) searchLocked(ctx context.Context, q []float64, k int, o SearchOptions) ([]Result, error) {
 	var st QueryStats
-	if len(q) != ix.dim {
-		return nil, fmt.Errorf("core: query has dimension %d, index expects %d", len(q), ix.dim)
+	if len(q) != ix.ndim {
+		return nil, fmt.Errorf("core: query has dimension %d, index expects %d", len(q), ix.ndim)
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	q, qscale, err := ix.reduceQuery(q)
+	if err != nil {
+		return nil, err
 	}
 	c := o.C
 	if c <= 0 {
@@ -250,7 +301,7 @@ func (ix *Index) searchLocked(ctx context.Context, q []float64, k int, o SearchO
 	st.FinalRadius = r
 	st.ProjectedDistComps = en.DistComps()
 	for i := range top {
-		top[i].Dist = math.Sqrt(top[i].Dist)
+		top[i].Dist = ix.finishDist(top[i].Dist, qscale)
 	}
 	if o.Stats != nil {
 		*o.Stats = st
@@ -281,6 +332,9 @@ func (ix *Index) SearchBatch(ctx context.Context, qs [][]float64, k int, o Searc
 	}
 	if o.BatchStats != nil && len(o.BatchStats) < len(qs) {
 		return nil, fmt.Errorf("core: BatchStats has %d entries for %d queries", len(o.BatchStats), len(qs))
+	}
+	if ix.metric == metric.Jaccard {
+		return ix.searchBatchJaccard(ctx, qs, k, o)
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -332,8 +386,14 @@ func (ix *Index) SearchBatch(ctx context.Context, qs [][]float64, k int, o Searc
 // non-nil, receives the query's statistics (Rounds is always 1 — the
 // ball-cover query is a single streamed range expansion).
 func (ix *Index) SearchBall(ctx context.Context, q []float64, r float64, o SearchOptions) (*Result, error) {
-	if len(q) != ix.dim {
-		return nil, fmt.Errorf("core: query has dimension %d, index expects %d", len(q), ix.dim)
+	if ix.metric == metric.Jaccard {
+		return ix.searchBallJaccard(ctx, q, r, o)
+	}
+	if ix.metric == metric.InnerProduct {
+		return nil, fmt.Errorf("core: ball-cover queries are not defined for the inner-product metric (its \"distance\" is an unbounded negated inner product)")
+	}
+	if len(q) != ix.ndim {
+		return nil, fmt.Errorf("core: query has dimension %d, index expects %d", len(q), ix.ndim)
 	}
 	if r <= 0 {
 		return nil, fmt.Errorf("core: radius must be positive, got %v", r)
@@ -345,6 +405,18 @@ func (ix *Index) SearchBall(ctx context.Context, q []float64, r float64, o Searc
 	params, err := ix.deriveParamsOpt(c, o.Alpha1)
 	if err != nil {
 		return nil, err
+	}
+	q, qscale, err := ix.reduceQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	// The expansion radius lives in internal L2 space. Native cosine
+	// distance r corresponds to internal distance √(2r) (d² = 2·(1−cos)),
+	// so the range expansion and the CI condition use that radius while
+	// the r·c comparison below stays in the native metric.
+	ri := r
+	if ix.metric == metric.Cosine {
+		ri = math.Sqrt(2 * r)
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -370,7 +442,7 @@ func (ix *Index) SearchBall(ctx context.Context, q []float64, r float64, o Searc
 		return nil, err
 	}
 	sc.emit = sc.emit[:0]
-	en.Expand(params.T*r, sc.emitFn)
+	en.Expand(params.T*ri, sc.emitFn)
 	sc.sortEmit()
 	// Track the best admitted candidate in squared space with early
 	// abandonment; filtered-out candidates cost no exact distance and
@@ -397,7 +469,7 @@ func (ix *Index) SearchBall(ctx context.Context, q []float64, r float64, o Searc
 		}
 	}
 	if best.ID >= 0 {
-		best.Dist = math.Sqrt(best.Dist)
+		best.Dist = ix.finishDist(best.Dist, qscale)
 	}
 	if o.Stats != nil {
 		*o.Stats = QueryStats{

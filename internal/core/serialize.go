@@ -8,6 +8,8 @@ import (
 	"math"
 
 	"repro/internal/lsh"
+	"repro/internal/metric"
+	"repro/internal/minhash"
 	"repro/internal/pmtree"
 	"repro/internal/rtree"
 	"repro/internal/stats"
@@ -43,21 +45,72 @@ import (
 // still load (with Quantize = none). A loaded index answers queries
 // identically to the saved one.
 
+// Version 6 ("PLS6") is the metric-tagged container for non-L2
+// indexes:
+//
+//	magic "PLS6" | metric u8
+//	InnerProduct only: scale S f64 (the build-time norm bound)
+//	then the complete backend stream — the full PLS4 stream above
+//	(internal-space rows, so dim is the augmented dimensionality
+//	under InnerProduct) for the vector reductions, or the MinHash
+//	"PMH1" stream (internal/minhash) for Jaccard.
+//
+// L2 indexes keep writing the bare PLS4 stream, byte-identical to
+// every earlier release; v1–v5 streams load as L2. An unknown metric
+// tag is a hard error, never a panic.
 var plsMagic = [4]byte{'P', 'L', 'S', '4'}
 var plsMagicV3 = [4]byte{'P', 'L', 'S', '3'}
 var plsMagicV2 = [4]byte{'P', 'L', 'S', '2'}
 var plsMagicV1 = [4]byte{'P', 'L', 'S', '1'}
+var pls6Magic = [4]byte{'P', 'L', 'S', '6'}
 
 // WriteTo serializes the index. It implements io.WriterTo. It takes
 // the reader lock, so it may run concurrently with queries; mutations
 // wait for the snapshot to finish.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	if ix.metric != metric.L2 {
+		return ix.writeToPLS6(w)
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	bw := bufio.NewWriterSize(w, 1<<20)
 	cw := &countingWriter{w: bw}
 	if err := ix.encode(cw, 4); err != nil {
 		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, fmt.Errorf("core: flush: %w", err)
+	}
+	return cw.n, nil
+}
+
+// writeToPLS6 wraps the backend stream in the metric-tagged PLS6
+// envelope. L2 never takes this path, so pre-PR-10 snapshots stay
+// byte-identical.
+func (ix *Index) writeToPLS6(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cw := &countingWriter{w: bw}
+	hdr := append([]byte{}, pls6Magic[:]...)
+	hdr = append(hdr, byte(ix.metric))
+	if _, err := cw.Write(hdr); err != nil {
+		return cw.n, fmt.Errorf("core: write pls6 header: %w", err)
+	}
+	if ix.metric == metric.Jaccard {
+		if _, err := ix.mh.WriteTo(cw); err != nil {
+			return cw.n, err
+		}
+	} else {
+		if ix.metric == metric.InnerProduct {
+			if err := binary.Write(cw, binary.LittleEndian, ix.mipScale); err != nil {
+				return cw.n, fmt.Errorf("core: write mip scale: %w", err)
+			}
+		}
+		ix.mu.RLock()
+		err := ix.encode(cw, 4)
+		ix.mu.RUnlock()
+		if err != nil {
+			return cw.n, err
+		}
 	}
 	if err := bw.Flush(); err != nil {
 		return cw.n, fmt.Errorf("core: flush: %w", err)
@@ -188,7 +241,12 @@ func (ix *Index) encode(w io.Writer, version int) error {
 
 // Load deserializes an index previously written with WriteTo.
 func Load(r io.Reader) (*Index, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
+	return load(bufio.NewReaderSize(r, 1<<20), false)
+}
+
+// load reads one stream from br. inner guards against a PLS6 envelope
+// nesting another PLS6 envelope, which WriteTo never produces.
+func load(br *bufio.Reader, inner bool) (*Index, error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("core: read magic: %w", err)
@@ -202,6 +260,11 @@ func Load(r io.Reader) (*Index, error) {
 		version = 2
 	case plsMagicV1:
 		version = 1
+	case pls6Magic:
+		if inner {
+			return nil, fmt.Errorf("core: nested PLS6 envelope")
+		}
+		return loadPLS6(br)
 	default:
 		return nil, fmt.Errorf("core: bad magic %q", magic)
 	}
@@ -485,6 +548,7 @@ func Load(r io.Reader) (*Index, error) {
 		pidx:    pidx,
 		tree:    tree,
 		dim:     dim,
+		ndim:    dim, // loadPLS6 adjusts for reduced metrics
 		rowOf:   rowOf,
 		t:       t,
 		chi:     chi,
@@ -495,6 +559,77 @@ func Load(r io.Reader) (*Index, error) {
 	for i := 0; i < n; i += 1 + n/64 {
 		if !finite(data.Row(i)) {
 			return nil, fmt.Errorf("core: non-finite data at row %d", i)
+		}
+	}
+	return ix, nil
+}
+
+// loadPLS6 reads the body of a metric-tagged stream; the "PLS6" magic
+// has already been consumed. An out-of-range metric byte is a hard
+// error so future format revisions fail loudly on old binaries.
+func loadPLS6(br *bufio.Reader) (*Index, error) {
+	tag, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("core: read metric tag: %w", err)
+	}
+	m := metric.Kind(tag)
+	if !m.Valid() {
+		return nil, fmt.Errorf("core: unknown metric tag %d", tag)
+	}
+	if m == metric.L2 {
+		// L2 is always written as a bare PLS4/PLS5 stream; a PLS6+L2
+		// combination only arises from corruption or a foreign writer.
+		return nil, fmt.Errorf("core: l2 index in PLS6 envelope")
+	}
+	if m == metric.Jaccard {
+		mh, err := minhash.Read(br)
+		if err != nil {
+			return nil, err
+		}
+		cfg := Config{
+			Metric:           metric.Jaccard,
+			Seed:             mh.Seed(),
+			MinHashBands:     mh.Bands(),
+			MinHashRows:      mh.Rows(),
+			MinHashThreshold: mh.Threshold(),
+		}
+		return &Index{cfg: cfg, metric: metric.Jaccard, mh: mh}, nil
+	}
+	scale := 0.0
+	if m == metric.InnerProduct {
+		if err := binary.Read(br, binary.LittleEndian, &scale); err != nil {
+			return nil, fmt.Errorf("core: read mip scale: %w", err)
+		}
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || scale <= 0 {
+			return nil, fmt.Errorf("core: corrupt mip scale %v", scale)
+		}
+	}
+	ix, err := load(br, true)
+	if err != nil {
+		return nil, err
+	}
+	ix.metric = m
+	ix.cfg.Metric = m
+	if m == metric.InnerProduct {
+		if ix.dim < 2 {
+			return nil, fmt.Errorf("core: inner-product index needs augmented dim >= 2, got %d", ix.dim)
+		}
+		ix.mipScale = scale
+		ix.ndim = ix.dim - 1
+	}
+	// Reduced rows are unit vectors by construction; spot-check so a
+	// stream with a swapped metric byte fails at load, not at query.
+	n := ix.data.Len()
+	for i := 0; i < n; i += 1 + n/64 {
+		if !ix.data.IsLive(i) {
+			continue
+		}
+		s := 0.0
+		for _, v := range ix.data.Row(i) {
+			s += v * v
+		}
+		if math.Abs(s-1) > 1e-6 {
+			return nil, fmt.Errorf("core: row %d is not unit-norm (|x|^2=%v) for %s metric", i, s, m)
 		}
 	}
 	return ix, nil

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metric"
 	"repro/internal/vec"
 )
 
@@ -71,7 +72,13 @@ type Config struct {
 	Seed int64
 	// QueryJitter is the stddev of the Gaussian perturbation applied
 	// to a stored point to form a query or an inserted point (0 = 0.05).
+	// Under MetricJaccard it is instead the per-token mutation
+	// probability (tokens stay non-negative integers).
 	QueryJitter float64
+	// Metric is the distance the recall oracle scores in; it must match
+	// the serving index's metric (the zero value is L2). cmd/pmlshload
+	// fills it from GET /v1/info.
+	Metric metric.Kind
 }
 
 func (cfg *Config) fillDefaults() error {
@@ -110,6 +117,9 @@ func (cfg *Config) fillDefaults() error {
 	}
 	if cfg.QueryJitter == 0 {
 		cfg.QueryJitter = 0.05
+	}
+	if !cfg.Metric.Valid() {
+		return fmt.Errorf("loadgen: unknown metric %d", cfg.Metric)
 	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Transport: &http.Transport{
@@ -232,9 +242,9 @@ func (o *oracle) randomBase(rng *rand.Rand) []float64 {
 	return out
 }
 
-// topK brute-forces the true k nearest live ids to q. k is clamped to
-// the live count; the effective k is returned with the set.
-func (o *oracle) topK(q []float64, k int) (map[int32]bool, int) {
+// topK brute-forces the true k nearest live ids to q under m. k is
+// clamped to the live count; the effective k is returned with the set.
+func (o *oracle) topK(q []float64, k int, m metric.Kind) (map[int32]bool, int) {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
 	if k > len(o.ids) {
@@ -247,7 +257,12 @@ func (o *oracle) topK(q []float64, k int) (map[int32]bool, int) {
 	top := make([]cand, 0, k)
 	bound := math.Inf(1)
 	for id, p := range o.live {
-		d := vec.SquaredL2Bounded(q, p, bound)
+		var d float64
+		if m == metric.L2 {
+			d = vec.SquaredL2Bounded(q, p, bound)
+		} else {
+			d = nativeDist(m, q, p)
+		}
 		if len(top) == k && d >= bound {
 			continue
 		}
@@ -261,6 +276,53 @@ func (o *oracle) topK(q []float64, k int) (map[int32]bool, int) {
 		out[c.id] = true
 	}
 	return out, k
+}
+
+// nativeDist is the oracle's exact distance for the non-L2 metrics
+// (under L2 the bounded squared distance above keeps ranks identical
+// with less work).
+func nativeDist(m metric.Kind, q, p []float64) float64 {
+	switch m {
+	case metric.Cosine:
+		var dot, nq, np float64
+		for i := range q {
+			dot += q[i] * p[i]
+			nq += q[i] * q[i]
+			np += p[i] * p[i]
+		}
+		den := math.Sqrt(nq) * math.Sqrt(np)
+		if den == 0 {
+			return 1
+		}
+		return 1 - dot/den
+	case metric.InnerProduct:
+		var dot float64
+		for i := range q {
+			dot += q[i] * p[i]
+		}
+		return -dot
+	case metric.Jaccard:
+		qs := make(map[float64]bool, len(q))
+		for _, t := range q {
+			qs[t] = true
+		}
+		ps := make(map[float64]bool, len(p))
+		inter := 0
+		for _, t := range p {
+			if !ps[t] {
+				ps[t] = true
+				if qs[t] {
+					inter++
+				}
+			}
+		}
+		union := len(qs) + len(ps) - inter
+		if union == 0 {
+			return 0
+		}
+		return 1 - float64(inter)/float64(union)
+	}
+	panic(fmt.Sprintf("loadgen: no native distance for metric %v", m))
 }
 
 // tally accumulates latencies, recall and counts; one per run plus a
@@ -528,14 +590,14 @@ func runOp(ctx context.Context, cfg Config, cl *client, orc *oracle, tal *tally,
 	r := rng.Float64()
 	switch {
 	case r < cfg.ReadFraction:
-		q := perturb(orc.randomBase(rng), rng, cfg.QueryJitter)
+		q := perturb(orc.randomBase(rng), rng, cfg.QueryJitter, cfg.Metric)
 		if q == nil {
 			return
 		}
 		// Ground truth is computed immediately before the request so
 		// concurrent mutations can skew it by at most the in-flight
 		// window.
-		truth, kk := orc.topK(q, cfg.K)
+		truth, kk := orc.topK(q, cfg.K, cfg.Metric)
 		if kk == 0 {
 			return
 		}
@@ -573,7 +635,7 @@ func runOp(ctx context.Context, cfg Config, cl *client, orc *oracle, tal *tally,
 			orc.add(id, p)
 		}
 	default:
-		p := perturb(orc.randomBase(rng), rng, cfg.QueryJitter)
+		p := perturb(orc.randomBase(rng), rng, cfg.QueryJitter, cfg.Metric)
 		if p == nil {
 			return
 		}
@@ -591,9 +653,21 @@ func runOp(ctx context.Context, cfg Config, cl *client, orc *oracle, tal *tally,
 	}
 }
 
-func perturb(p []float64, rng *rand.Rand, jitter float64) []float64 {
+func perturb(p []float64, rng *rand.Rand, jitter float64, m metric.Kind) []float64 {
 	if p == nil {
 		return nil
+	}
+	if m == metric.Jaccard {
+		// Tokens must stay non-negative integers for the server's
+		// float64→uint64 bridge, so mutate set membership instead of
+		// adding noise: each token is resampled with probability jitter
+		// from a universe sized to keep overlap with the original high.
+		for j := range p {
+			if rng.Float64() < jitter {
+				p[j] = float64(rng.Intn(1 << 20))
+			}
+		}
+		return p
 	}
 	for j := range p {
 		p[j] += jitter * rng.NormFloat64()

@@ -1,0 +1,101 @@
+// Package metric names the distance metrics the engine can serve and
+// how each one maps onto the PM-LSH machinery, which is defined for
+// Euclidean distance.
+//
+// L2 is the native metric: everything runs as the paper describes.
+// Cosine and InnerProduct are reductions — vectors are transformed at
+// ingest so that Euclidean distance in the transformed (internal)
+// space is monotone in the native dissimilarity, the L2 engine runs
+// unchanged over the transformed vectors, and reported distances are
+// converted back to the native metric at the very end of each query:
+//
+//   - Cosine: rows and queries are normalized to unit length. For unit
+//     vectors ‖q−x‖² = 2(1−cosθ), so the native cosine distance
+//     1−cosθ equals d²/2 — a strictly increasing function of the
+//     internal distance. The paper's (c,k) guarantee transfers: a c
+//     approximation in internal L2 distance is a c² approximation in
+//     cosine distance.
+//   - InnerProduct: maximum-inner-product search via the
+//     augmented-dimension transform. With S the largest row norm at
+//     build time, a row x becomes [x/S, √(1−‖x/S‖²)] and a query q
+//     becomes [q/‖q‖, 0]; both are unit vectors and
+//     ‖q̂−x̂‖² = 2(1−⟨q,x⟩/(‖q‖·S)), so ranking by internal distance is
+//     ranking by inner product. The reported "distance" is the negated
+//     inner product −⟨q,x⟩ (smaller = better match). The reduction is
+//     exact for ranking but the multiplicative c guarantee does NOT
+//     transfer — the additive offset in the transform breaks the
+//     ratio — so MIP answers are heuristic-quality (recall is gated by
+//     tests instead).
+//   - Jaccard: not a reduction at all; set data is served by a
+//     MinHash band-LSH backend (internal/minhash) behind the same
+//     engine seam. Distance is 1 − J(a,b).
+//
+// The χ² confidence machinery (radius schedule, κ calibration, the
+// distance CDF) always operates in the internal L2 space — the
+// reductions feed it transformed vectors, and it never sees a native
+// cosine or inner-product value.
+package metric
+
+import "fmt"
+
+// Kind identifies a distance metric. The zero value is L2, so
+// metric-unaware code and streams serialized before the metric
+// subsystem load as Euclidean.
+type Kind uint8
+
+const (
+	// L2 is Euclidean distance, the paper's native metric.
+	L2 Kind = iota
+	// Cosine is cosine distance 1 − cos(q,x), served by
+	// normalize-on-ingest + the L2 engine.
+	Cosine
+	// InnerProduct is maximum-inner-product search, served by the
+	// augmented-dimension transform + the L2 engine. Reported
+	// distances are negated inner products.
+	InnerProduct
+	// Jaccard is set dissimilarity 1 − |a∩b|/|a∪b|, served by the
+	// MinHash band-LSH backend over uint64-token sets.
+	Jaccard
+
+	numKinds // one past the last valid kind
+)
+
+// Valid reports whether k names a defined metric.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// Vector reports whether k is served by the vector (PM-LSH) engine —
+// everything except Jaccard.
+func (k Kind) Vector() bool { return k.Valid() && k != Jaccard }
+
+// String returns the canonical lower-case name ("l2", "cosine", "ip",
+// "jaccard"); unknown kinds render as "metric(<n>)".
+func (k Kind) String() string {
+	switch k {
+	case L2:
+		return "l2"
+	case Cosine:
+		return "cosine"
+	case InnerProduct:
+		return "ip"
+	case Jaccard:
+		return "jaccard"
+	}
+	return fmt.Sprintf("metric(%d)", uint8(k))
+}
+
+// Parse maps a metric name to its Kind. It accepts the canonical names
+// plus common aliases ("euclidean", "angular", "innerproduct", "dot",
+// "mip", "minhash"); the empty string is L2, matching the zero Config.
+func Parse(s string) (Kind, error) {
+	switch s {
+	case "", "l2", "euclidean":
+		return L2, nil
+	case "cosine", "angular":
+		return Cosine, nil
+	case "ip", "innerproduct", "inner-product", "dot", "mip":
+		return InnerProduct, nil
+	case "jaccard", "minhash":
+		return Jaccard, nil
+	}
+	return 0, fmt.Errorf("metric: unknown metric %q (want l2, cosine, ip or jaccard)", s)
+}

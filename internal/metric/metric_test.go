@@ -1,0 +1,60 @@
+package metric
+
+import "testing"
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for k := Kind(0); k.Valid(); k++ {
+		got, err := Parse(k.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("Parse(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	cases := map[string]Kind{
+		"":              L2,
+		"euclidean":     L2,
+		"angular":       Cosine,
+		"dot":           InnerProduct,
+		"mip":           InnerProduct,
+		"innerproduct":  InnerProduct,
+		"inner-product": InnerProduct,
+		"minhash":       Jaccard,
+	}
+	for s, want := range cases {
+		got, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got != want {
+			t.Errorf("Parse(%q) = %v, want %v", s, got, want)
+		}
+	}
+	if _, err := Parse("hamming"); err == nil {
+		t.Error("Parse of unknown metric succeeded")
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, k := range []Kind{L2, Cosine, InnerProduct, Jaccard} {
+		if !k.Valid() {
+			t.Errorf("%v not valid", k)
+		}
+	}
+	if Kind(200).Valid() {
+		t.Error("Kind(200) reported valid")
+	}
+	if Kind(200).String() != "metric(200)" {
+		t.Errorf("unknown String() = %q", Kind(200).String())
+	}
+	if Jaccard.Vector() {
+		t.Error("Jaccard reported as vector metric")
+	}
+	if !Cosine.Vector() || !L2.Vector() || !InnerProduct.Vector() {
+		t.Error("vector metrics misreported")
+	}
+}

@@ -1,0 +1,400 @@
+package minhash
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randSet draws a set of roughly size tokens from a vocabulary.
+func randSet(rng *rand.Rand, size, vocab int) []uint64 {
+	s := make([]uint64, 0, size)
+	for i := 0; i < size; i++ {
+		s = append(s, uint64(rng.Intn(vocab)))
+	}
+	return s
+}
+
+// mutate returns a copy of s with frac of its tokens replaced.
+func mutate(rng *rand.Rand, s []uint64, frac float64, vocab int) []uint64 {
+	out := append([]uint64(nil), s...)
+	n := int(float64(len(out)) * frac)
+	for i := 0; i < n; i++ {
+		out[rng.Intn(len(out))] = uint64(rng.Intn(vocab))
+	}
+	return out
+}
+
+func TestJaccardExact(t *testing.T) {
+	a := []uint64{1, 2, 3, 4}
+	b := []uint64{3, 4, 5, 6}
+	if got := Jaccard(a, b); got != 2.0/6.0 {
+		t.Fatalf("Jaccard = %v, want 1/3", got)
+	}
+	if got := Jaccard(a, a); got != 1 {
+		t.Fatalf("self Jaccard = %v", got)
+	}
+	if got := Jaccard(a, []uint64{9}); got != 0 {
+		t.Fatalf("disjoint Jaccard = %v", got)
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	got, err := Canonicalize([]uint64{5, 1, 5, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if _, err := Canonicalize(nil); err == nil {
+		t.Fatal("empty set accepted")
+	}
+}
+
+func TestSignatureDeterministicAndSeedSensitive(t *testing.T) {
+	x1, _ := New(Config{Seed: 7})
+	x2, _ := New(Config{Seed: 7})
+	x3, _ := New(Config{Seed: 8})
+	s := []uint64{10, 20, 30, 40, 50}
+	a := x1.signature(s, nil)
+	b := x2.signature(s, nil)
+	c := x3.signature(s, nil)
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different signatures")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical signatures")
+	}
+}
+
+// TestSearchVsOracle checks that band-LSH search finds the near
+// neighbors an exact Jaccard scan finds, on a corpus with planted
+// high-similarity sets.
+func TestSearchVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n, vocab = 400, 5000
+	sets := make([][]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		sets = append(sets, randSet(rng, 60, vocab))
+	}
+	x, err := Build(sets, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	found := 0
+	const queries = 30
+	for qi := 0; qi < queries; qi++ {
+		src := rng.Intn(n)
+		q := mutate(rng, sets[src], 0.1, vocab) // ~0.8+ similarity
+		res, st, err := x.Search(q, 5, SearchOpt{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Verified > st.Candidates {
+			t.Fatalf("verified %d > candidates %d", st.Verified, st.Candidates)
+		}
+		for i := 1; i < len(res); i++ {
+			if res[i].Dist < res[i-1].Dist {
+				t.Fatal("results unsorted")
+			}
+		}
+		for _, nb := range res {
+			qc, _ := Canonicalize(q)
+			if want := 1 - Jaccard(qc, x.Set(nb.ID)); nb.Dist != want {
+				t.Fatalf("distance %v, exact rescore says %v", nb.Dist, want)
+			}
+			if nb.ID == int32(src) {
+				found++
+			}
+		}
+	}
+	if frac := float64(found) / queries; frac < 0.9 {
+		t.Fatalf("found the planted source in only %.0f%% of queries", 100*frac)
+	}
+}
+
+func TestSearchFilterBudgetThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sets := make([][]uint64, 0, 50)
+	base := randSet(rng, 40, 1000)
+	for i := 0; i < 50; i++ {
+		sets = append(sets, mutate(rng, base, 0.05*float64(i%8), 1000))
+	}
+	x, err := Build(sets, Config{Seed: 1, Threshold: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := x.Search(base, 50, SearchOpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nb := range res {
+		if nb.Dist > 0.4+1e-12 {
+			t.Fatalf("threshold 0.6 leaked distance %v", nb.Dist)
+		}
+	}
+	// Filter: only even ids.
+	res, _, err = x.Search(base, 50, SearchOpt{Filter: func(id int32) bool { return id%2 == 0 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nb := range res {
+		if nb.ID%2 != 0 {
+			t.Fatalf("filter leaked id %d", nb.ID)
+		}
+	}
+	// Budget caps rescores.
+	_, st, err := x.Search(base, 50, SearchOpt{Budget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Verified > 3 {
+		t.Fatalf("budget 3, verified %d", st.Verified)
+	}
+}
+
+func TestSearchPairsVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n, vocab = 120, 4000
+	sets := make([][]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		sets = append(sets, randSet(rng, 50, vocab))
+	}
+	// Plant 10 near-duplicate pairs.
+	type planted struct{ i, j int32 }
+	var plants []planted
+	for p := 0; p < 10; p++ {
+		src := rng.Intn(n)
+		dup := mutate(rng, sets[src], 0.06, vocab)
+		sets = append(sets, dup)
+		plants = append(plants, planted{int32(src), int32(len(sets) - 1)})
+	}
+	x, err := Build(sets, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, _, err := x.SearchPairs(2*len(plants), SearchOpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[[2]int32]bool)
+	for i, p := range pairs {
+		if p.I >= p.J {
+			t.Fatalf("pair %d not ordered: (%d,%d)", i, p.I, p.J)
+		}
+		key := [2]int32{p.I, p.J}
+		if seen[key] {
+			t.Fatalf("pair (%d,%d) reported twice", p.I, p.J)
+		}
+		seen[key] = true
+		if i > 0 && pairs[i].Dist < pairs[i-1].Dist {
+			t.Fatal("pairs unsorted")
+		}
+		if want := 1 - Jaccard(x.Set(p.I), x.Set(p.J)); p.Dist != want {
+			t.Fatalf("pair dist %v, exact says %v", p.Dist, want)
+		}
+	}
+	hit := 0
+	for _, pl := range plants {
+		a, b := pl.i, pl.j
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int32{a, b}] {
+			hit++
+		}
+	}
+	if hit < len(plants)-1 {
+		t.Fatalf("found only %d/%d planted pairs", hit, len(plants))
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int32
+	for i := 0; i < 20; i++ {
+		id, err := x.Insert(randSet(rng, 30, 500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != int32(i) {
+			t.Fatalf("id %d, want %d", id, i)
+		}
+		ids = append(ids, id)
+	}
+	if x.Len() != 20 || x.LiveLen() != 20 {
+		t.Fatalf("Len=%d LiveLen=%d", x.Len(), x.LiveLen())
+	}
+	for _, id := range ids[:5] {
+		if err := x.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := x.Delete(id); err == nil {
+			t.Fatal("double delete succeeded")
+		}
+	}
+	if x.LiveLen() != 15 || x.Dead() != 5 {
+		t.Fatalf("LiveLen=%d Dead=%d", x.LiveLen(), x.Dead())
+	}
+	// Deleted ids never come back from search.
+	res, _, err := x.Search(x.Set(ids[6]), 20, SearchOpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nb := range res {
+		if nb.ID < 5 {
+			t.Fatalf("deleted id %d in results", nb.ID)
+		}
+	}
+	if err := x.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Dead() != 0 || x.Compactions() != 1 || x.Len() != 20 || x.LiveLen() != 15 {
+		t.Fatalf("post-compact Dead=%d Compactions=%d Len=%d Live=%d",
+			x.Dead(), x.Compactions(), x.Len(), x.LiveLen())
+	}
+	// Ids keep advancing after compact.
+	id, err := x.Insert(randSet(rng, 30, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 20 {
+		t.Fatalf("post-compact id %d, want 20", id)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x, err := New(Config{Bands: 8, Rows: 4, Seed: 99, Threshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := x.Insert(randSet(rng, 25, 800)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []int32{3, 7, 12} {
+		if err := x.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Len() != x.Len() || y.LiveLen() != x.LiveLen() || y.Dead() != x.Dead() ||
+		y.Bands() != x.Bands() || y.Rows() != x.Rows() || y.Seed() != x.Seed() ||
+		y.Threshold() != x.Threshold() {
+		t.Fatal("round trip changed index shape")
+	}
+	q := x.Set(20)
+	a, _, err := x.Search(q, 10, SearchOpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := y.Search(q, 10, SearchOpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("round trip changed result count %d -> %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d drifted: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Serialized bytes are deterministic.
+	var buf2 bytes.Buffer
+	if _, err := y.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("serialization is not deterministic across a round trip")
+	}
+}
+
+func TestReadRejectsCorrupt(t *testing.T) {
+	x, _ := New(Config{Seed: 1})
+	x.Insert([]uint64{1, 2, 3})
+	var buf bytes.Buffer
+	x.WriteTo(&buf)
+	good := buf.Bytes()
+
+	bad := append([]byte(nil), good...)
+	copy(bad, "XXXX")
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Read(bytes.NewReader(good[:len(good)-3])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	// Unsorted set payload.
+	bad = append([]byte(nil), good...)
+	// tokens are the last 24 bytes: swap first and last token.
+	tok := bad[len(bad)-24:]
+	for i := 0; i < 8; i++ {
+		tok[i], tok[16+i] = tok[16+i], tok[i]
+	}
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("unsorted set accepted")
+	}
+}
+
+func TestBandProbabilityShape(t *testing.T) {
+	// Empirical sanity check of the 1-(1-s^r)^b S-curve: high-similarity
+	// pairs should collide in some band far more often than mid-similarity
+	// pairs under the default 16x8 layout.
+	rng := rand.New(rand.NewSource(21))
+	x, _ := New(Config{Seed: 4})
+	collide := func(frac float64) float64 {
+		hits, trials := 0, 60
+		for t := 0; t < trials; t++ {
+			a, _ := Canonicalize(randSet(rng, 80, 1<<20))
+			b, _ := Canonicalize(mutate(rng, a, frac, 1<<20))
+			sa := x.signature(a, nil)
+			sb := x.signature(b, nil)
+			for band := 0; band < x.cfg.Bands; band++ {
+				if x.bandKey(sa, band) == x.bandKey(sb, band) {
+					hits++
+					break
+				}
+			}
+		}
+		return float64(hits) / float64(trials)
+	}
+	hi := collide(0.05) // ~0.9 similarity
+	lo := collide(0.55) // ~0.4 similarity
+	if hi < 0.9 {
+		t.Errorf("high-similarity collision rate %.2f, want >= 0.9", hi)
+	}
+	if lo > 0.35 {
+		t.Errorf("mid-similarity collision rate %.2f, want <= 0.35", lo)
+	}
+}

@@ -182,6 +182,21 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.vec.with(values)
 }
 
+// GaugeVec is a family of Gauges keyed by label values.
+type GaugeVec struct {
+	labels []string
+	vec    vec[Gauge]
+}
+
+// With returns (creating on first use) the child gauge for the given
+// label values, which must match the family's label names in count.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	return v.vec.with(values)
+}
+
 // HistogramVec is a family of Histograms keyed by label values.
 type HistogramVec struct {
 	labels []string
@@ -207,6 +222,7 @@ type family struct {
 	gaugeFn    func() float64
 	histogram  *Histogram
 	counterVec *CounterVec
+	gaugeVec   *GaugeVec
 	histVec    *HistogramVec
 }
 
@@ -251,6 +267,14 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	g := &Gauge{}
 	r.add(&family{name: name, help: help, typ: "gauge", gauge: g})
 	return g
+}
+
+// GaugeVec registers and returns a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{labels: labels}
+	v.vec.make = func() *Gauge { return &Gauge{} }
+	r.add(&family{name: name, help: help, typ: "gauge", gaugeVec: v})
+	return v
 }
 
 // GaugeFunc registers a gauge whose value is collected by calling fn
@@ -300,6 +324,11 @@ func (r *Registry) WriteText(w io.Writer) error {
 			for _, ch := range f.counterVec.vec.snapshot() {
 				fmt.Fprintf(bw, "%s{%s} %d\n", f.name,
 					labelPairs(f.counterVec.labels, ch.values), ch.child.Value())
+			}
+		case f.gaugeVec != nil:
+			for _, ch := range f.gaugeVec.vec.snapshot() {
+				fmt.Fprintf(bw, "%s{%s} %d\n", f.name,
+					labelPairs(f.gaugeVec.labels, ch.values), ch.child.Value())
 			}
 		case f.histVec != nil:
 			for _, ch := range f.histVec.vec.snapshot() {

@@ -401,6 +401,7 @@ type infoResponse struct {
 	Live        int    `json:"live"`
 	Dead        int    `json:"dead"`
 	Quantize    string `json:"quantize"`
+	Metric      string `json:"metric"`
 	Compactions int64  `json:"compactions"`
 	Draining    bool   `json:"draining"`
 }
@@ -415,6 +416,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		Live:        info.Live,
 		Dead:        info.Dead,
 		Quantize:    info.Quantize.String(),
+		Metric:      info.Metric.String(),
 		Compactions: info.Compactions,
 		Draining:    s.Draining(),
 	})

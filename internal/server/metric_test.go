@@ -1,0 +1,105 @@
+package server
+
+// Metric exposure through the serving layer: /v1/info reports the
+// engine's metric, /metrics carries the pmlsh_index_metric gauge
+// label, and a Jaccard engine serves set queries end-to-end through
+// the same routes.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+)
+
+func serveEngine(t *testing.T, eng *core.Engine) *httptest.Server {
+	t.Helper()
+	s, err := New(Config{Engine: eng, Logger: testLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestInfoAndMetricsExposeMetric(t *testing.T) {
+	data := testData(200, 8, 42)
+	eng, err := core.BuildEngine(data, core.Config{Shards: 2, Seed: 1, Metric: metric.Cosine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := serveEngine(t, eng)
+
+	status, raw := get(t, ts, "/v1/info")
+	if status != 200 {
+		t.Fatalf("info: %d", status)
+	}
+	var info infoResponse
+	if err := json.Unmarshal(raw, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Metric != "cosine" {
+		t.Fatalf("info metric %q, want cosine", info.Metric)
+	}
+
+	status, raw = get(t, ts, "/metrics")
+	if status != 200 {
+		t.Fatalf("metrics: %d", status)
+	}
+	if !strings.Contains(string(raw), `pmlsh_index_metric{metric="cosine"} 1`) {
+		t.Fatalf("metrics output lacks the metric gauge:\n%s", raw)
+	}
+}
+
+func TestJaccardServing(t *testing.T) {
+	sets := make([][]uint64, 40)
+	for i := range sets {
+		sets[i] = []uint64{uint64(i), uint64(i + 1), uint64(i + 2), uint64(3*i + 100)}
+	}
+	eng, err := core.BuildSetsEngine(sets, core.Config{Metric: metric.Jaccard, Seed: 7, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := serveEngine(t, eng)
+
+	status, raw := get(t, ts, "/v1/info")
+	if status != 200 || !strings.Contains(string(raw), `"metric":"jaccard"`) {
+		t.Fatalf("info: %d %s", status, raw)
+	}
+
+	// Query with set 5's own tokens: the self-match comes back first at
+	// distance 0.
+	q := "[5,6,7,115]"
+	status, body := post(t, ts, "/v1/search", `{"q":`+q+`,"k":3}`)
+	if status != 200 {
+		t.Fatalf("search: %d %v", status, body)
+	}
+	results := body["results"].([]any)
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	top := results[0].(map[string]any)
+	if int(top["id"].(float64)) != 5 || top["dist"].(float64) != 0 {
+		t.Fatalf("self query top result %v", top)
+	}
+
+	// Mutations ride the same routes: insert a new set, delete it.
+	status, body = post(t, ts, "/v1/insert", `{"p":[900,901,902]}`)
+	if status != 200 {
+		t.Fatalf("insert: %d %v", status, body)
+	}
+	id := int(body["id"].(float64))
+	if status, _ := post(t, ts, "/v1/delete", fmt.Sprintf(`{"id":%d}`, id)); status != 200 {
+		t.Fatalf("delete: %d", status)
+	}
+
+	// Non-integer tokens are a client error, not a 500.
+	if status, _ := post(t, ts, "/v1/search", `{"q":[1.5,2],"k":3}`); status != 400 {
+		t.Fatalf("fractional token accepted: %d", status)
+	}
+}

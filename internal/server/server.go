@@ -136,6 +136,9 @@ func New(cfg Config) (*Server, error) {
 	reg.GaugeFunc("pmlsh_compactions_total",
 		"Compact operations (explicit and automatic) since the engine was opened.",
 		func() float64 { return float64(s.eng.Info().Compactions) })
+	reg.GaugeVec("pmlsh_index_metric",
+		"Distance metric of the serving engine (1 on the active label).",
+		"metric").With(s.eng.Metric().String()).Set(1)
 	if s.eng.Durable() {
 		s.registerWALMetrics(reg)
 		if cfg.CheckpointInterval > 0 {

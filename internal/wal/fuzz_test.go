@@ -31,6 +31,10 @@ func FuzzWALReplay(f *testing.F) {
 	ops := []Op{
 		{Kind: OpInsert, ID: 0, Vec: []float64{1.5, -2, 0.25}},
 		{Kind: OpInsert, ID: 1, Vec: []float64{3, 4, 5}},
+		// A Jaccard engine logs inserts as integer-valued token floats
+		// (the set {3, 7, 2^20}); framing-wise they are ordinary vecs,
+		// but the corpus should mutate around this shape too.
+		{Kind: OpInsert, ID: 2, Vec: []float64{3, 7, 1 << 20}},
 		{Kind: OpDelete, ID: 0},
 		{Kind: OpSetQuantize, Quant: 1},
 		{Kind: OpCompact},

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/metric"
 	"repro/internal/store"
 )
 
@@ -25,6 +26,29 @@ const (
 // their QuantKind, for wiring command-line flags.
 func ParseQuantKind(s string) (QuantKind, error) { return store.ParseQuantKind(s) }
 
+// Metric selects the distance the index answers queries in
+// (Config.Metric). See the package documentation's "Metrics" section
+// for which guarantees each metric carries.
+type Metric = metric.Kind
+
+// The supported metrics: Euclidean distance (the default — the
+// paper's setting, with the full (c,k) guarantee), cosine distance
+// 1−cos(q,x) over vector direction, inner-product similarity (results
+// ordered by descending ⟨q,x⟩, reported as Dist = −⟨q,x⟩), and
+// Jaccard distance 1−|A∩B|/|A∪B| over integer token sets (BuildSets).
+const (
+	MetricL2           = metric.L2
+	MetricCosine       = metric.Cosine
+	MetricInnerProduct = metric.InnerProduct
+	MetricJaccard      = metric.Jaccard
+)
+
+// ParseMetric maps the spellings "l2" (or "", "euclidean"), "cosine"
+// ("angular"), "ip" ("dot", "mip", "innerproduct", "inner-product")
+// and "jaccard" ("minhash") to their Metric, for wiring command-line
+// flags.
+func ParseMetric(s string) (Metric, error) { return metric.Parse(s) }
+
 // AutoCompactAlways is a sentinel for Config.AutoCompactFraction that
 // makes every Delete leaving at least one tombstone trigger a Compact.
 // (A literal 0 cannot express this: the zero value selects the 0.3
@@ -32,15 +56,18 @@ func ParseQuantKind(s string) (QuantKind, error) { return store.ParseQuantKind(s
 const AutoCompactAlways = core.AutoCompactAlways
 
 // Neighbor is one query result: a point id (the row index passed to
-// Build, unless custom ids were provided) and its exact Euclidean
-// distance to the query.
+// Build, unless custom ids were provided) and its exact distance to
+// the query in the index's native metric — Euclidean under MetricL2,
+// 1−cosθ under MetricCosine, −⟨q,x⟩ under MetricInnerProduct, and
+// 1−Jaccard(A,B) under MetricJaccard.
 type Neighbor struct {
 	ID   int32
 	Dist float64
 }
 
 // Pair is one closest-pair result: the ids of two distinct indexed
-// points (I < J) and their exact Euclidean distance.
+// points (I < J) and their exact distance in the index's native
+// metric.
 type Pair struct {
 	I, J int32
 	Dist float64
@@ -108,6 +135,24 @@ type Config struct {
 	// element-wise identically to an unquantized index — only memory
 	// traffic changes. QuantNone (the zero value) disables it.
 	Quantize QuantKind
+	// Metric selects the distance function (the zero value is MetricL2,
+	// which reproduces the paper exactly). MetricCosine and
+	// MetricInnerProduct reduce to internal L2 searches over transformed
+	// vectors at Build/Insert time; MetricJaccard switches to a MinHash
+	// band-LSH backend and requires BuildSets instead of Build. Results
+	// are always reported in the native metric.
+	Metric Metric
+	// MinHashBands and MinHashRows shape the MetricJaccard signature:
+	// k = bands×rows hash functions, banded so two sets collide in some
+	// bucket with probability 1−(1−s^rows)^bands at Jaccard similarity
+	// s. Zero values select 16 bands × 8 rows. Ignored by the vector
+	// metrics.
+	MinHashBands int
+	MinHashRows  int
+	// MinHashThreshold drops candidates whose exact Jaccard similarity
+	// falls below it after rescoring (0 keeps everything). Ignored by
+	// the vector metrics.
+	MinHashThreshold float64
 }
 
 // Index is a PM-LSH index over a mutable dataset. Queries go through
@@ -137,7 +182,31 @@ type Index struct {
 // vector store, so the caller keeps ownership of data and may reuse or
 // mutate it after Build returns.
 func Build(data [][]float64, cfg Config) (*Index, error) {
-	ix, err := core.BuildEngine(data, core.Config{
+	ix, err := core.BuildEngine(data, coreConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: ix}, nil
+}
+
+// BuildSets constructs a MetricJaccard index over integer token sets
+// (cfg.Metric must be MetricJaccard). Each set is canonicalized
+// (sorted, deduplicated) and copied, so the caller keeps ownership.
+// Queries against a set index pass the query set's tokens as
+// non-negative integer-valued float64s (every token must be ≤ 2⁵³ so
+// the float64 round trip is exact); results report Jaccard distance
+// 1−|A∩B|/|A∪B|.
+func BuildSets(sets [][]uint64, cfg Config) (*Index, error) {
+	ix, err := core.BuildSetsEngine(sets, coreConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: ix}, nil
+}
+
+// coreConfig maps the public config onto the engine's.
+func coreConfig(cfg Config) core.Config {
+	return core.Config{
 		M:                   cfg.M,
 		NumPivots:           cfg.NumPivots,
 		ExplicitZeroPivots:  cfg.ZeroPivots,
@@ -148,11 +217,11 @@ func Build(data [][]float64, cfg Config) (*Index, error) {
 		AutoCompactFraction: cfg.AutoCompactFraction,
 		Quantize:            cfg.Quantize,
 		Shards:              cfg.Shards,
-	})
-	if err != nil {
-		return nil, err
+		Metric:              cfg.Metric,
+		MinHashBands:        cfg.MinHashBands,
+		MinHashRows:         cfg.MinHashRows,
+		MinHashThreshold:    cfg.MinHashThreshold,
 	}
-	return &Index{ix: ix}, nil
 }
 
 // Insert adds one point to the index and returns its assigned id: the
@@ -201,8 +270,12 @@ func (x *Index) LiveLen() int { return x.ix.LiveLen() }
 // deleted) point.
 func (x *Index) IsLive(id int32) bool { return x.ix.IsLive(id) }
 
-// Dim returns the dimensionality of indexed points.
+// Dim returns the dimensionality of indexed points (0 for a
+// MetricJaccard index, whose points are sets, not vectors).
 func (x *Index) Dim() int { return x.ix.Dim() }
+
+// Metric returns the distance metric the index was built with.
+func (x *Index) Metric() Metric { return x.ix.Metric() }
 
 // M returns the projected dimensionality (hash-function count).
 func (x *Index) M() int { return x.ix.M() }
@@ -229,6 +302,8 @@ type Info struct {
 	// Compactions counts Compact operations (explicit and automatic)
 	// completed since the index was built or loaded.
 	Compactions int64
+	// Metric is the distance metric the index was built with.
+	Metric Metric
 }
 
 // Info returns one consistent snapshot of the index's observable
@@ -247,6 +322,7 @@ func (x *Index) Info() Info {
 		Dead:        ei.Dead,
 		Quantize:    ei.Quantize,
 		Compactions: ei.Compactions,
+		Metric:      ei.Metric,
 	}
 }
 

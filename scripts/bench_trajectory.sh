@@ -8,20 +8,23 @@
 # baseline vs the snapshot-isolated sharded engine, plus the
 # end-to-end HTTP serving latency of BenchmarkServerSearch and its
 # WAL-backed variants: search overhead with durability attached and
-# the insert path under fsync-always vs group commit).
+# the insert path under fsync-always vs group commit, plus the
+# multi-metric paths: QueryK50 under the cosine and inner-product
+# reductions, a top-10 Jaccard set query against the MinHash backend,
+# and the whole-corpus SearchPairs duplicate sweep).
 #
 # Usage: scripts/bench_trajectory.sh [output.json]
-#   PR        tag for the stacked-PR sequence number   (default: 9)
+#   PR        tag for the stacked-PR sequence number   (default: 10)
 #   BENCHTIME go test -benchtime value                 (default: 1s)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pr="${PR:-9}"
+pr="${PR:-10}"
 out="${1:-BENCH_${pr}.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(go test -run '^$' \
-  -bench '^(BenchmarkQueryK50|BenchmarkKNNSerial|BenchmarkKNNBatch|BenchmarkQueryK50Churned|BenchmarkQueryK50Filtered|BenchmarkQueryK50QuantF32|BenchmarkQueryK50QuantI8|BenchmarkQueryK50HighDim|BenchmarkQueryK50HighDimQuantF32|BenchmarkQueryK50HighDimQuantI8|BenchmarkMixedReadP99|BenchmarkServerSearch|BenchmarkServerSearchDurable|BenchmarkServerInsertDurable)$' \
+  -bench '^(BenchmarkQueryK50|BenchmarkKNNSerial|BenchmarkKNNBatch|BenchmarkQueryK50Churned|BenchmarkQueryK50Filtered|BenchmarkQueryK50QuantF32|BenchmarkQueryK50QuantI8|BenchmarkQueryK50HighDim|BenchmarkQueryK50HighDimQuantF32|BenchmarkQueryK50HighDimQuantI8|BenchmarkMixedReadP99|BenchmarkServerSearch|BenchmarkServerSearchDurable|BenchmarkServerInsertDurable|BenchmarkQueryK50Cosine|BenchmarkQueryK50MIP|BenchmarkJaccardSearch|BenchmarkTextDedupPairs)$' \
   -benchtime "$benchtime" .)"
 echo "$raw"
 echo "$raw" | go run ./cmd/benchjson -pr "$pr" > "$out"
